@@ -1,0 +1,76 @@
+// bench_analysis — validates the closed-form analysis of §3.4.
+//
+// Equation (1) bounds the average successful first-round non-expedited
+// recovery latency by (C1 + C2/2)d + d + (D1 + D2/2)d + d = 6.5 d =
+// 3.25 RTT for the default parameters; Equation (2) bounds expedited
+// recoveries by REORDER-DELAY + RTT. The paper then observes measured SRM
+// first-round averages between 1.5 and 3.25 RTT, and expedited gains of
+// 1–2.5 RTT. This bench recomputes the bounds for the configured
+// parameters and checks them against measured recoveries.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cesrm;
+
+  util::CliFlags flags("Section 3.4: analytic latency bounds vs measurement");
+  bench::add_common_flags(flags, "1,4,7,13");
+  if (!flags.parse(argc, argv)) return 1;
+  bench::BenchOptions opts;
+  if (!bench::read_common_flags(flags, &opts)) return 1;
+  bench::print_header("Section 3.4 — Expedited vs non-expedited recoveries",
+                      opts);
+
+  const auto bounds = harness::analysis_bounds(opts.base.cesrm.srm);
+  std::cout << "Equation (1): avg first-round non-expedited recovery ≤ "
+            << util::fmt_fixed(bounds.srm_first_round_bound_d, 2) << " d = "
+            << util::fmt_fixed(bounds.srm_first_round_bound_rtt, 2)
+            << " RTT\n"
+            << "Equation (2): expedited recovery ≤ REORDER-DELAY + RTT ≈ "
+            << util::fmt_fixed(bounds.expedited_bound_rtt, 2) << " RTT\n"
+            << "Predicted expedited gain ≈ "
+            << util::fmt_fixed(bounds.predicted_gain_rtt, 2) << " RTT\n\n";
+
+  util::TextTable table;
+  table.set_header({"Trace", "SRM 1st-round avg (RTT)", "within Eq.(1)?",
+                    "CESRM exp avg (RTT)", "gain (RTT)", "within band?"});
+  table.set_align(0, util::Align::kLeft);
+
+  for (int id : opts.trace_ids) {
+    const auto spec =
+        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
+    const auto run = bench::run_trace(spec, opts.base);
+
+    // Average normalized latency of *first-round* SRM recoveries.
+    util::OnlineStats srm_first_round;
+    for (const auto& m : run.srm.members) {
+      if (m.is_source) continue;
+      for (const auto& r : m.stats.recoveries)
+        if (r.recovered && r.rounds <= 1)
+          srm_first_round.add(r.latency_seconds() / m.rtt_to_source);
+    }
+    util::OnlineStats exp_latency, nonexp_latency;
+    for (const auto& m : run.cesrm.members) {
+      if (m.is_source) continue;
+      for (const auto& r : m.stats.recoveries) {
+        if (!r.recovered) continue;
+        (r.expedited ? exp_latency : nonexp_latency)
+            .add(r.latency_seconds() / m.rtt_to_source);
+      }
+    }
+    const double gain = nonexp_latency.mean() - exp_latency.mean();
+    table.add_row(
+        {spec.name, util::fmt_fixed(srm_first_round.mean(), 3),
+         srm_first_round.mean() <= bounds.srm_first_round_bound_rtt ? "yes"
+                                                                    : "NO",
+         util::fmt_fixed(exp_latency.mean(), 3), util::fmt_fixed(gain, 2),
+         (gain >= 0.75 && gain <= 2.75) ? "yes" : "outside"});
+  }
+  table.print();
+  std::cout << "\n(paper: SRM first-round averages lie in [1.5, 3.25] RTT; "
+               "expedited gains in [1, 2.5] RTT)\n";
+  return 0;
+}

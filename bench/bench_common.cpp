@@ -1,0 +1,84 @@
+#include "bench_common.hpp"
+
+#include <iostream>
+
+#include "infer/link_estimator.hpp"
+
+namespace cesrm::bench {
+
+void add_common_flags(util::CliFlags& flags,
+                      const std::string& default_traces) {
+  flags.add_string("traces", default_traces,
+                   "comma-separated Table-1 trace ids (1-14) or 'all'");
+  flags.add_int("packets-cap", 0,
+                "cap packets per trace (0 = full trace; loss budget scales)");
+  flags.add_int("link-delay-ms", 20, "one-way link delay (paper: 10/20/30)");
+  flags.add_int("seed", 1, "experiment seed (timer jitter streams)");
+  flags.add_bool("lossy-recovery", false,
+                 "also drop recovery packets per estimated link rates");
+}
+
+bool read_common_flags(const util::CliFlags& flags, BenchOptions* out) {
+  const std::string traces = flags.get_string("traces");
+  if (traces == "all") {
+    for (int i = 1; i <= 14; ++i) out->trace_ids.push_back(i);
+  } else {
+    for (const auto& tok : util::split(traces, ',')) {
+      const auto id = util::parse_int(tok);
+      if (!id || *id < 1 || *id > 14) {
+        std::cerr << "bad trace id: '" << tok << "'\n";
+        return false;
+      }
+      out->trace_ids.push_back(static_cast<int>(*id));
+    }
+  }
+  out->packets_cap = flags.get_int("packets-cap");
+  out->link_delay_ms = static_cast<int>(flags.get_int("link-delay-ms"));
+  out->seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  out->base.seed = out->seed;
+  out->base.network.link_delay = sim::SimTime::millis(out->link_delay_ms);
+  out->base.lossy_recovery = flags.get_bool("lossy-recovery");
+  return true;
+}
+
+trace::TraceSpec capped_spec(const trace::TraceSpec& spec,
+                             net::SeqNo packets_cap) {
+  if (packets_cap <= 0 || packets_cap >= spec.packets) return spec;
+  trace::TraceSpec scaled = spec;
+  const double scale = static_cast<double>(packets_cap) /
+                       static_cast<double>(spec.packets);
+  scaled.packets = packets_cap;
+  scaled.losses = static_cast<std::int64_t>(
+      static_cast<double>(spec.losses) * scale);
+  return scaled;
+}
+
+TraceRun run_trace(const trace::TraceSpec& spec,
+                   harness::ExperimentConfig cfg) {
+  TraceRun run;
+  run.spec = spec;
+  run.gen = trace::generate_trace(spec);
+  const auto estimate = infer::estimate_links_yajnik(*run.gen.loss);
+  run.links = std::make_unique<infer::LinkTraceRepresentation>(
+      *run.gen.loss, estimate.loss_rate);
+  cfg.protocol = harness::Protocol::kSrm;
+  run.srm = harness::run_experiment(*run.gen.loss, *run.links, cfg);
+  cfg.protocol = harness::Protocol::kCesrm;
+  run.cesrm = harness::run_experiment(*run.gen.loss, *run.links, cfg);
+  return run;
+}
+
+void print_header(const std::string& what, const BenchOptions& opts) {
+  std::cout << "=== " << what << " ===\n"
+            << "Reproduction of: Livadas & Keidar, \"Caching-Enhanced "
+               "Scalable Reliable Multicast\", DSN 2004\n"
+            << "traces:";
+  for (int id : opts.trace_ids) std::cout << ' ' << id;
+  std::cout << "  link delay: " << opts.link_delay_ms << " ms";
+  if (opts.packets_cap > 0)
+    std::cout << "  packets capped at " << opts.packets_cap;
+  if (opts.base.lossy_recovery) std::cout << "  (lossy recovery)";
+  std::cout << "\n\n";
+}
+
+}  // namespace cesrm::bench

@@ -1,0 +1,62 @@
+// bench_common.hpp — shared machinery for the figure/table bench binaries.
+//
+// Every bench reenacts Table-1 traces: generate (§4.1 substitute), infer
+// drop links (§4.2), run SRM and CESRM (§4.3), and print the series the
+// corresponding paper figure plots. The common flags let a user trim the
+// sweep (--traces=1,4,7), cap packets per trace (--packets-cap=20000) for
+// quick runs, or change the link delay (§4.3 ran 10/20/30 ms).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "harness/reports.hpp"
+#include "infer/link_trace.hpp"
+#include "trace/catalog.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace cesrm::bench {
+
+/// Everything one trace-driven comparison produces.
+struct TraceRun {
+  trace::TraceSpec spec;
+  trace::GeneratedTrace gen;
+  std::unique_ptr<infer::LinkTraceRepresentation> links;
+  harness::ExperimentResult srm;
+  harness::ExperimentResult cesrm;
+};
+
+/// Common bench options parsed from the command line.
+struct BenchOptions {
+  std::vector<int> trace_ids;      // which Table-1 traces to run
+  net::SeqNo packets_cap = 0;      // 0 = full trace
+  int link_delay_ms = 20;
+  std::uint64_t seed = 1;
+  harness::ExperimentConfig base;  // assembled from the flags
+};
+
+/// Registers the common flags on `flags`.
+void add_common_flags(util::CliFlags& flags, const std::string& default_traces);
+
+/// Builds BenchOptions from parsed flags; returns false on bad input.
+bool read_common_flags(const util::CliFlags& flags, BenchOptions* out);
+
+/// Generates the trace, builds the link trace representation, and runs
+/// both protocols. `cfg` carries protocol/network settings; its protocol
+/// field is overridden per run.
+TraceRun run_trace(const trace::TraceSpec& spec,
+                   harness::ExperimentConfig cfg);
+
+/// Applies the packet cap to a spec by scaling the published loss budget
+/// proportionally (so loss *rates* are preserved).
+trace::TraceSpec capped_spec(const trace::TraceSpec& spec,
+                             net::SeqNo packets_cap);
+
+/// Prints the standard bench header (paper reference, run parameters).
+void print_header(const std::string& what, const BenchOptions& opts);
+
+}  // namespace cesrm::bench

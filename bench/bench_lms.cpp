@@ -1,0 +1,215 @@
+// bench_lms — CESRM vs LMS (the §3.3/§5 comparison), healthy and churned.
+//
+// The paper's positioning against router-assisted protocols rests on two
+// claims:  (1) under stable membership, LMS-style designated-replier
+// recovery and CESRM's expedited recovery deliver comparable latency and
+// localized retransmissions, but CESRM needs no router replier state;
+// (2) under churn, LMS requests black-hole at stale entries until the
+// router state repairs, while CESRM degrades gracefully to SRM and
+// re-seeds its caches from the fallback recoveries.
+//
+// This bench runs both protocols (plus plain SRM as the reference) over
+// Table-1 traces, in a healthy phase and with a replier crash at the
+// midpoint, reporting recovery latency, retransmission exposure, and the
+// post-crash latency spike.
+
+#include <functional>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "cesrm/cesrm_agent.hpp"
+#include "infer/link_estimator.hpp"
+#include "lms/lms_agent.hpp"
+#include "util/stats.hpp"
+
+namespace {
+
+using namespace cesrm;
+
+enum class Proto { kSrm, kCesrm, kLms };
+const char* proto_name(Proto p) {
+  switch (p) {
+    case Proto::kSrm: return "SRM";
+    case Proto::kCesrm: return "CESRM";
+    case Proto::kLms: return "LMS";
+  }
+  return "?";
+}
+
+struct RunOutcome {
+  util::OnlineStats pre_latency;     // normalized, detections before crash
+  util::OnlineStats post_latency;    // after crash
+  util::OnlineStats window_latency;  // within the repair window after crash
+  std::uint64_t unrecovered = 0;
+  double exposure = 0.0;  // retransmission link crossings per recovery
+};
+
+RunOutcome run(Proto proto, const trace::GeneratedTrace& gen,
+               const infer::LinkTraceRepresentation& links,
+               const bench::BenchOptions& opts, bool crash) {
+  const auto& tree = gen.loss->tree();
+  sim::Simulator sim;
+  net::Network network(sim, tree, opts.base.network);
+  util::Rng rng(opts.seed);
+
+  lms::LmsDirectory directory(sim, tree, sim::SimTime::seconds(10));
+  lms::LmsConfig lms_cfg;
+  lms_cfg.srm = opts.base.cesrm.srm;
+
+  std::vector<std::unique_ptr<srm::SrmAgent>> agents;
+  std::vector<net::NodeId> member_nodes{tree.root()};
+  for (net::NodeId r : tree.receivers()) member_nodes.push_back(r);
+  for (net::NodeId nid : member_nodes) {
+    util::Rng agent_rng = rng.fork(static_cast<std::uint64_t>(nid) + 1);
+    switch (proto) {
+      case Proto::kSrm:
+        agents.push_back(std::make_unique<srm::SrmAgent>(
+            sim, network, nid, tree.root(), opts.base.cesrm.srm, agent_rng));
+        break;
+      case Proto::kCesrm:
+        agents.push_back(std::make_unique<::cesrm::cesrm::CesrmAgent>(
+            sim, network, nid, tree.root(), opts.base.cesrm, agent_rng));
+        break;
+      case Proto::kLms:
+        agents.push_back(std::make_unique<lms::LmsAgent>(
+            sim, network, nid, tree.root(), lms_cfg, directory, agent_rng));
+        break;
+    }
+  }
+  network.set_drop_fn([&](const net::Packet& pkt, net::NodeId from,
+                          net::NodeId to) {
+    if (pkt.type != net::PacketType::kData) return false;
+    if (tree.parent(to) != from) return false;
+    const auto& drops = links.drop_links(pkt.seq);
+    return std::binary_search(drops.begin(), drops.end(), to);
+  });
+  for (auto& agent : agents)
+    agent->start_session(sim::SimTime::millis(rng.uniform_int(0, 999)));
+
+  const sim::SimTime warmup = sim::SimTime::seconds(5);
+  const net::SeqNo packets = gen.loss->packet_count();
+  srm::SrmAgent* src = agents.front().get();
+  std::function<void(net::SeqNo)> send_next = [&](net::SeqNo seq) {
+    src->send_data(seq);
+    if (seq + 1 < packets)
+      sim.schedule_in(gen.loss->period(),
+                      [&send_next, seq] { send_next(seq + 1); });
+  };
+  sim.schedule_at(warmup, [&send_next] { send_next(0); });
+
+  // Crash scenario: at the midpoint, kill the receiver LMS designates at
+  // the most routers — the worst case for stale replier state, and the
+  // analogous "most-used replier" case for CESRM's caches.
+  const sim::SimTime midpoint = warmup + gen.loss->period() * (packets / 2);
+  if (crash) {
+    std::map<net::NodeId, int> designations;
+    for (net::NodeId v = 0; v < static_cast<net::NodeId>(tree.size()); ++v) {
+      if (tree.is_leaf(v) || tree.is_root(v)) continue;
+      ++designations[directory.designated_replier(v)];
+    }
+    net::NodeId victim = tree.receivers().front();
+    int best = -1;
+    for (const auto& [node, count] : designations) {
+      if (count > best) {
+        best = count;
+        victim = node;
+      }
+    }
+    sim.schedule_at(midpoint, [&agents, &directory, victim] {
+      for (auto& agent : agents)
+        if (agent->node() == victim) agent->fail();
+      directory.fail_member(victim);
+    });
+  }
+
+  sim.run_until(warmup + gen.loss->period() * packets +
+                sim::SimTime::seconds(60));
+
+  RunOutcome out;
+  std::uint64_t recoveries = 0;
+  for (auto& agent : agents) {
+    agent->stop_session();
+    agent->finalize_stats();
+    if (agent->failed() || agent->node() == tree.root()) continue;
+    const double rtt =
+        2.0 * network.path_delay(agent->node(), tree.root()).to_seconds();
+    for (const auto& r : agent->stats().recoveries) {
+      if (!r.recovered) {
+        ++out.unrecovered;
+        continue;
+      }
+      ++recoveries;
+      const double norm = r.latency_seconds() / rtt;
+      (r.detect_time < midpoint ? out.pre_latency : out.post_latency)
+          .add(norm);
+      if (r.detect_time >= midpoint &&
+          r.detect_time < midpoint + sim::SimTime::seconds(10))
+        out.window_latency.add(norm);
+    }
+  }
+  const std::uint64_t retrans_crossings =
+      network.crossings().total_of(net::PacketType::kReply) +
+      network.crossings().total_of(net::PacketType::kExpReply);
+  out.exposure = recoveries ? static_cast<double>(retrans_crossings) /
+                                  static_cast<double>(recoveries)
+                            : 0.0;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("Baseline comparison: SRM vs CESRM vs LMS");
+  bench::add_common_flags(flags, "1,7,13");
+  if (!flags.parse(argc, argv)) return 1;
+  bench::BenchOptions opts;
+  if (!bench::read_common_flags(flags, &opts)) return 1;
+  if (opts.packets_cap == 0) opts.packets_cap = 20000;
+  bench::print_header("LMS baseline (§3.3/§5) — healthy and under churn",
+                      opts);
+
+  util::TextTable table;
+  table.set_header({"Trace", "protocol", "latency (RTT)",
+                    "repair-window latency", "window worst", "unrecovered",
+                    "retrans crossings/recovery"});
+  table.set_align(0, util::Align::kLeft);
+  table.set_align(1, util::Align::kLeft);
+
+  for (int id : opts.trace_ids) {
+    const auto spec =
+        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
+    const auto gen = trace::generate_trace(spec);
+    const auto est = infer::estimate_links_yajnik(*gen.loss);
+    infer::LinkTraceRepresentation links(*gen.loss, est.loss_rate);
+
+    bool first = true;
+    for (const Proto proto : {Proto::kSrm, Proto::kCesrm, Proto::kLms}) {
+      const auto healthy = run(proto, gen, links, opts, /*crash=*/false);
+      const auto churned = run(proto, gen, links, opts, /*crash=*/true);
+      util::OnlineStats healthy_all = healthy.pre_latency;
+      healthy_all.merge(healthy.post_latency);
+      table.add_row(
+          {first ? spec.name : "", proto_name(proto),
+           util::fmt_fixed(healthy_all.mean(), 3),
+           churned.window_latency.empty()
+               ? "-"
+               : util::fmt_fixed(churned.window_latency.mean(), 3),
+           churned.window_latency.empty()
+               ? "-"
+               : util::fmt_fixed(churned.window_latency.max(), 1),
+           util::fmt_count(churned.unrecovered),
+           util::fmt_fixed(healthy.exposure, 1)});
+      first = false;
+    }
+    table.add_rule();
+  }
+  table.print();
+  std::cout << "\nReading: healthy LMS and CESRM both beat SRM's latency; "
+               "LMS has the lowest exposure\n(perfectly localized subcasts) "
+               "but after the designated replier crashes its requests\n"
+               "black-hole until the 10 s router-state repair — the "
+               "post-crash latency spike — while\nCESRM degrades to SRM "
+               "and re-seeds its caches (§3.3, §5: \"CESRM remains robust "
+               "...\nwhereas LMS does not\").\n";
+  return 0;
+}

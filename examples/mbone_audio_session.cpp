@@ -1,0 +1,105 @@
+// mbone_audio_session.cpp — the paper's motivating workload: a live audio
+// broadcast over IP multicast (the Table-1 traces are MBone audio sessions:
+// "RFV" = Radio Free Vat, "WRN" = World Radio Network).
+//
+// A live audio receiver cares about one thing: is the packet repaired
+// before its playout deadline? This example streams an audio session over
+// a lossy multicast tree and reports, for several playout-buffer depths,
+// the fraction of *lost* packets each protocol repairs in time — showing
+// why CESRM's ~RTT expedited recovery matters for interactive media where
+// SRM's multi-RTT suppression delays blow the deadline.
+//
+//   ./mbone_audio_session [--minutes=10] [--receivers=10] [--depth=5]
+
+#include <iostream>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "infer/link_estimator.hpp"
+#include "infer/link_trace.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/cli.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cesrm;
+
+  util::CliFlags flags("Live audio broadcast: repair-before-deadline rates");
+  flags.add_int("minutes", 10, "session length in minutes");
+  flags.add_int("receivers", 10, "number of receivers");
+  flags.add_int("depth", 5, "multicast tree depth");
+  flags.add_double("loss-rate", 0.05, "average per-receiver loss rate");
+  flags.add_int("seed", 2026, "generation seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  // A 40 ms packetization audio stream, as in the paper's 40 ms traces.
+  trace::TraceSpec spec;
+  spec.name = "AUDIOCAST";
+  spec.receivers = static_cast<int>(flags.get_int("receivers"));
+  spec.depth = static_cast<int>(flags.get_int("depth"));
+  spec.period_ms = 40;
+  spec.packets = flags.get_int("minutes") * 60 * 1000 / spec.period_ms;
+  spec.losses = static_cast<std::int64_t>(
+      static_cast<double>(spec.packets) * spec.receivers *
+      flags.get_double("loss-rate"));
+  spec.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+
+  std::cout << "Streaming " << flags.get_int("minutes") << " min of audio ("
+            << spec.packets << " packets @ 40 ms) to " << spec.receivers
+            << " receivers...\n";
+  const auto gen = trace::generate_trace(spec);
+  const auto est = infer::estimate_links_yajnik(*gen.loss);
+  infer::LinkTraceRepresentation links(*gen.loss, est.loss_rate);
+
+  harness::ExperimentConfig cfg;
+  cfg.protocol = harness::Protocol::kSrm;
+  const auto srm = harness::run_experiment(*gen.loss, links, cfg);
+  cfg.protocol = harness::Protocol::kCesrm;
+  const auto cesrm = harness::run_experiment(*gen.loss, links, cfg);
+
+  // Repair-before-deadline: a lost packet is usable if its recovery
+  // latency (detection → repair) fits within the playout buffer that
+  // remains after the packet's own one-way trip. We charge the full
+  // detection-to-repair latency against the buffer.
+  const std::vector<double> deadlines_ms{150, 250, 400, 600, 1000};
+  util::TextTable table(
+      "\nFraction of lost packets repaired within the playout deadline:");
+  std::vector<std::string> header{"deadline (ms)"};
+  header.push_back("SRM %");
+  header.push_back("CESRM %");
+  table.set_header(header);
+
+  for (const double deadline : deadlines_ms) {
+    auto in_time = [&](const harness::ExperimentResult& result) {
+      std::uint64_t total = 0, ok = 0;
+      for (const auto& m : result.members) {
+        if (m.is_source) continue;
+        for (const auto& r : m.stats.recoveries) {
+          ++total;
+          if (r.recovered && r.latency_seconds() * 1000.0 <= deadline) ++ok;
+        }
+        // Repairs that beat detection arrived faster than any deadline.
+        total += m.stats.repairs_before_detection;
+        ok += m.stats.repairs_before_detection;
+      }
+      return total ? 100.0 * static_cast<double>(ok) /
+                         static_cast<double>(total)
+                   : 100.0;
+    };
+    table.add_row({util::fmt_fixed(deadline, 0),
+                   util::fmt_fixed(in_time(srm), 1),
+                   util::fmt_fixed(in_time(cesrm), 1)});
+  }
+  table.print();
+
+  std::cout << "\nmean recovery latency: SRM "
+            << util::fmt_fixed(srm.mean_normalized_recovery_time(), 2)
+            << " RTT vs CESRM "
+            << util::fmt_fixed(cesrm.mean_normalized_recovery_time(), 2)
+            << " RTT\n"
+            << "With a modest playout buffer, CESRM turns most losses into "
+               "inaudible repairs;\nSRM needs several extra hundred "
+               "milliseconds of buffering for the same effect.\n";
+  return 0;
+}

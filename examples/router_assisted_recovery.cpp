@@ -1,0 +1,120 @@
+// router_assisted_recovery.cpp — the §3.3 extension on a hand-authored
+// topology.
+//
+// Builds an explicit two-continent tree from the nested text format,
+// concentrates losses on one regional link, and contrasts plain CESRM
+// (every expedited reply multicast to the whole group) with the
+// router-assisted variant (reply unicast to the turning-point router and
+// subcast to its subtree only). Prints the per-packet-type link-crossing
+// ledger so the exposure reduction is visible directly.
+//
+//   ./router_assisted_recovery [--packets=5000] [--seed=3]
+
+#include <iostream>
+
+#include "harness/experiment.hpp"
+#include "infer/link_estimator.hpp"
+#include "infer/link_trace.hpp"
+#include "net/topology_builder.hpp"
+#include "trace/gilbert_elliott.hpp"
+#include "trace/loss_trace.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace cesrm;
+
+  util::CliFlags flags("Router-assisted CESRM on a two-continent topology");
+  flags.add_int("packets", 5000, "packets to transmit");
+  flags.add_int("seed", 3, "loss process seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  // Source 0; router 1 is the US region (receivers 3,4,5), router 2 the
+  // EU region (receivers 6,7,8,9) — receivers are the leaves.
+  const auto tree = std::make_shared<net::MulticastTree>(
+      net::parse_tree("0(1(3 4 5) 2(6 7 8 9))"));
+  std::cout << "topology: " << tree->to_string()
+            << "  (router 1 = US region, router 2 = EU region)\n";
+
+  // Build a loss trace by hand: a bursty 6% process on the EU regional
+  // link plus light independent noise on two leaf links.
+  const net::SeqNo packets = flags.get_int("packets");
+  trace::LossTrace loss("TWO-CONTINENT", tree, sim::SimTime::millis(40),
+                        packets);
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  auto eu_link = trace::GilbertElliott::from_rate_and_burst(0.06, 5.0);
+  auto us_leaf = trace::GilbertElliott::from_rate_and_burst(0.01, 2.0);
+  auto eu_leaf = trace::GilbertElliott::from_rate_and_burst(0.01, 2.0);
+  for (net::SeqNo i = 0; i < packets; ++i) {
+    if (eu_link.step(rng))
+      for (net::NodeId r : tree->subtree_receivers(2))
+        loss.set_lost(loss.receiver_index(r), i);
+    if (us_leaf.step(rng)) loss.set_lost(loss.receiver_index(3), i);
+    if (eu_leaf.step(rng)) loss.set_lost(loss.receiver_index(7), i);
+  }
+  std::cout << "losses: " << loss.total_losses() << " ("
+            << util::fmt_fixed(100.0 * loss.loss_rate(), 2)
+            << "%), locality "
+            << util::fmt_fixed(100.0 * loss.pattern_repeat_fraction(), 1)
+            << "%\n\n";
+
+  const auto est = infer::estimate_links_yajnik(loss);
+  infer::LinkTraceRepresentation links(loss, est.loss_rate);
+
+  auto run = [&](bool assist) {
+    harness::ExperimentConfig cfg;
+    cfg.protocol = harness::Protocol::kCesrm;
+    cfg.cesrm.router_assist = assist;
+    return harness::run_experiment(loss, links, cfg);
+  };
+  const auto plain = run(false);
+  const auto assisted = run(true);
+
+  util::TextTable table("Link crossings by packet type (cost = 1 per link):");
+  table.set_header({"type", "plain CESRM", "router-assisted", "saved %"});
+  table.set_align(0, util::Align::kLeft);
+  for (int t = 0; t < net::kPacketTypeCount; ++t) {
+    const auto type = static_cast<net::PacketType>(t);
+    const std::uint64_t a = plain.crossings.total_of(type);
+    const std::uint64_t b = assisted.crossings.total_of(type);
+    if (a == 0 && b == 0) continue;
+    table.add_row({net::packet_type_name(type), util::fmt_count(a),
+                   util::fmt_count(b),
+                   a > 0 ? util::fmt_fixed(
+                               100.0 * (1.0 - static_cast<double>(b) /
+                                                  static_cast<double>(a)),
+                               1)
+                         : "-"});
+  }
+  table.print();
+
+  auto exposure = [](const harness::ExperimentResult& r) {
+    const std::uint64_t replies = r.total_exp_replies_sent();
+    return replies ? static_cast<double>(r.crossings.total_of(
+                         net::PacketType::kExpReply)) /
+                         static_cast<double>(replies)
+                   : 0.0;
+  };
+  std::cout << "\nexpedited-reply exposure: plain "
+            << util::fmt_fixed(exposure(plain), 2)
+            << " crossings/reply vs assisted "
+            << util::fmt_fixed(exposure(assisted), 2)
+            << " (full tree = " << tree->link_count() << ")\n"
+            << "recovery latency unchanged: "
+            << util::fmt_fixed(plain.mean_normalized_recovery_time(), 3)
+            << " vs "
+            << util::fmt_fixed(assisted.mean_normalized_recovery_time(), 3)
+            << " RTT; unrecovered: " << plain.total_unrecovered() << " vs "
+            << assisted.total_unrecovered() << "\n"
+            << "\nLeaf-link losses are repaired within their region (the "
+               "cached replier is a regional\nneighbour, so the turning "
+               "point sits below the root and the subcast never crosses\n"
+               "into the other continent). Losses on the EU *regional* link "
+               "blind every EU receiver,\nso their repliers are on the US "
+               "side, the turning point is the root, and CESRM\ncorrectly "
+               "falls back to plain multicast — §3.3's localization with no "
+               "replier state\nin the routers (unlike LMS).\n";
+  return 0;
+}

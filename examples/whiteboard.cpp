@@ -1,0 +1,153 @@
+// whiteboard.cpp — SRM's canonical application, on the api:: facade.
+//
+// The original SRM paper was motivated by "wb", LBL's shared whiteboard:
+// every participant multicasts drawing operations; the transport repairs
+// losses; the application applies operations in any order (ALF) and all
+// canvases converge. This example runs such a session: several members
+// scribble concurrently over a lossy multicast tree, each maintains a
+// canvas checksum, and at the end we verify every member converged to the
+// same canvas — while reporting how quickly operations propagated under
+// CESRM vs SRM.
+//
+//   ./whiteboard [--minutes=3] [--ops-per-second=2.0] [--cesrm=true]
+
+#include <iostream>
+#include <map>
+
+#include "api/session.hpp"
+#include "net/topology_builder.hpp"
+#include "trace/gilbert_elliott.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cesrm;
+
+/// A trivially mergeable "canvas": applying the same operation set in any
+/// order yields the same state — the ALF property wb relies on.
+struct Canvas {
+  std::uint64_t checksum = 0;
+  std::uint64_t ops = 0;
+  void apply(net::NodeId source, net::SeqNo seq) {
+    // Order-independent combine (addition commutes).
+    std::uint64_t op_id =
+        (static_cast<std::uint64_t>(source) << 32) ^
+        static_cast<std::uint64_t>(seq);
+    op_id *= 0x9E3779B97F4A7C15ULL;
+    checksum += op_id ^ (op_id >> 29);
+    ++ops;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags("Shared whiteboard over reliable multicast");
+  flags.add_int("minutes", 3, "session length");
+  flags.add_double("ops-per-second", 2.0, "drawing rate per member");
+  flags.add_bool("cesrm", true, "use CESRM (false = plain SRM)");
+  flags.add_int("seed", 99, "seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  // A 7-member session: the root plus six leaves across two regions.
+  auto tree = std::make_shared<net::MulticastTree>(
+      net::parse_tree("0(1(3 4 5) 2(6 7 8))"));
+  api::MulticastGroup group(tree);
+
+  api::SessionConfig config;
+  config.transport = flags.get_bool("cesrm") ? api::Transport::kCesrm
+                                             : api::Transport::kSrm;
+
+  // Bursty loss on both regional links and one flaky leaf.
+  util::Rng loss_rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  auto us = trace::GilbertElliott::from_rate_and_burst(0.04, 4.0);
+  auto eu = trace::GilbertElliott::from_rate_and_burst(0.03, 5.0);
+  auto leaf = trace::GilbertElliott::from_rate_and_burst(0.02, 2.0);
+  std::map<net::NodeId, trace::GilbertElliott*> lossy_links{
+      {1, &us}, {2, &eu}, {7, &leaf}};
+  // Advance each chain per crossing of a *data* packet on its link.
+  group.set_drop_fn([&](const net::Packet& pkt, net::NodeId from,
+                        net::NodeId to) {
+    if (pkt.type != net::PacketType::kData) return false;
+    const net::NodeId link = tree->parent(to) == from ? to : from;
+    const auto it = lossy_links.find(link);
+    return it != lossy_links.end() && it->second->step(loss_rng);
+  });
+
+  // Members join and wire their canvases.
+  std::map<net::NodeId, Canvas> canvases;
+  util::Sample propagation_ms;
+  std::map<std::pair<net::NodeId, net::SeqNo>, sim::SimTime> sent_at;
+  const std::vector<net::NodeId> members{0, 3, 4, 5, 6, 7, 8};
+  for (net::NodeId m : members) {
+    auto& session = group.join(m, config);
+    session.set_delivery_handler(
+        [&, m](const api::Adu& adu) {
+          canvases[m].apply(adu.source, adu.seq);
+          const auto it = sent_at.find({adu.source, adu.seq});
+          if (it != sent_at.end())
+            propagation_ms.add((adu.delivered_at - it->second).to_millis());
+        });
+  }
+
+  // Everyone scribbles at a Poisson rate.
+  util::Rng draw_rng(static_cast<std::uint64_t>(flags.get_int("seed")) + 1);
+  const double rate = flags.get_double("ops-per-second");
+  const sim::SimTime session_end =
+      sim::SimTime::seconds(60 * flags.get_int("minutes"));
+  std::function<void(net::NodeId)> draw = [&](net::NodeId m) {
+    if (group.simulator().now() >= session_end) return;
+    auto& session = group.at(m);
+    const net::SeqNo seq = session.send();
+    sent_at[{m, seq}] = group.simulator().now();
+    canvases[m].apply(m, seq);  // the artist sees its own stroke at once
+    group.simulator().schedule_in(
+        sim::SimTime::from_seconds(draw_rng.exponential(1.0 / rate)),
+        [&draw, m] { draw(m); });
+  };
+  for (net::NodeId m : members) {
+    group.simulator().schedule_in(
+        sim::SimTime::from_seconds(draw_rng.exponential(1.0 / rate)) +
+            sim::SimTime::seconds(2),  // after session warm-up
+        [&draw, m] { draw(m); });
+  }
+
+  group.run_until(session_end + sim::SimTime::seconds(30));  // drain
+
+  // Convergence check.
+  util::TextTable table("Per-member canvas state:");
+  table.set_header({"member", "ops applied", "checksum", "repairs"});
+  bool converged = true;
+  const std::uint64_t reference = canvases[0].checksum;
+  for (net::NodeId m : members) {
+    const auto& stats = group.at(m).transport_stats();
+    std::uint64_t repairs = stats.repairs_before_detection;
+    for (const auto& r : stats.recoveries) repairs += r.recovered ? 1 : 0;
+    table.add_row({std::to_string(m), util::fmt_count(canvases[m].ops),
+                   std::to_string(canvases[m].checksum),
+                   util::fmt_count(repairs)});
+    converged &= canvases[m].checksum == reference;
+  }
+  table.print();
+
+  std::cout << "\n" << (converged ? "CONVERGED" : "DIVERGED")
+            << ": all members "
+            << (converged ? "hold identical canvases.\n"
+                          : "DO NOT hold identical canvases!\n");
+  if (!propagation_ms.empty()) {
+    std::cout << "stroke propagation latency (ms): p50 "
+              << util::fmt_fixed(propagation_ms.median(), 1) << ", p90 "
+              << util::fmt_fixed(propagation_ms.percentile(90), 1)
+              << ", p99 "
+              << util::fmt_fixed(propagation_ms.percentile(99), 1)
+              << ", max "
+              << util::fmt_fixed(propagation_ms.max(), 1) << "\n"
+              << "(compare --cesrm=true vs --cesrm=false: the tail is where "
+                 "CESRM's expedited\nrecovery shows — repaired strokes land "
+                 "an RTT after detection instead of several)\n";
+  }
+  return converged ? 0 : 1;
+}

@@ -1,0 +1,70 @@
+#include "cesrm/cache.hpp"
+
+#include <map>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace cesrm::cesrm {
+
+RecoveryCache::RecoveryCache(std::size_t capacity) : capacity_(capacity) {
+  CESRM_CHECK(capacity_ >= 1);
+}
+
+bool RecoveryCache::update(const RecoveryTuple& tuple) {
+  CESRM_CHECK(tuple.seq >= 0);
+  CESRM_CHECK(tuple.requestor != net::kInvalidNode);
+  CESRM_CHECK(tuple.replier != net::kInvalidNode);
+
+  if (auto it = entries_.find(tuple.seq); it != entries_.end()) {
+    // Already cached: keep the optimal pair for this packet.
+    if (tuple.recovery_delay() < it->second.recovery_delay()) {
+      it->second = tuple;
+      return true;
+    }
+    return false;
+  }
+  if (entries_.size() >= capacity_) {
+    // Full: ignore packets less recent than everything cached; otherwise
+    // evict the least recent packet's tuple.
+    const auto oldest = entries_.begin();
+    if (tuple.seq < oldest->first) return false;
+    entries_.erase(oldest);
+  }
+  entries_.emplace(tuple.seq, tuple);
+  return true;
+}
+
+std::optional<RecoveryTuple> RecoveryCache::most_recent() const {
+  if (entries_.empty()) return std::nullopt;
+  return entries_.rbegin()->second;
+}
+
+std::optional<RecoveryTuple> RecoveryCache::most_frequent() const {
+  if (entries_.empty()) return std::nullopt;
+  // Count (q, r) pair occurrences; remember the most recent tuple of each.
+  std::map<std::pair<net::NodeId, net::NodeId>,
+           std::pair<std::size_t, const RecoveryTuple*>>
+      counts;
+  for (const auto& [seq, tuple] : entries_) {
+    auto& slot = counts[{tuple.requestor, tuple.replier}];
+    ++slot.first;
+    slot.second = &tuple;  // map iteration is seq-ascending → ends recent
+  }
+  const RecoveryTuple* best = nullptr;
+  std::size_t best_count = 0;
+  net::SeqNo best_seq = -1;
+  for (const auto& [pair, slot] : counts) {
+    const auto& [count, tuple] = slot;
+    if (count > best_count ||
+        (count == best_count && tuple->seq > best_seq)) {
+      best_count = count;
+      best = tuple;
+      best_seq = tuple->seq;
+    }
+  }
+  CESRM_CHECK(best != nullptr);
+  return *best;
+}
+
+}  // namespace cesrm::cesrm

@@ -1,0 +1,125 @@
+#include "cesrm/cesrm_agent.hpp"
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace cesrm::cesrm {
+
+CesrmAgent::CesrmAgent(sim::Simulator& sim, net::Network& network,
+                       net::NodeId self, net::NodeId primary_source,
+                       const CesrmConfig& config, util::Rng rng)
+    : SrmAgent(sim, network, self, primary_source, config.srm, rng),
+      cesrm_config_(config) {}
+
+RecoveryCache& CesrmAgent::mutable_cache(net::NodeId source) {
+  auto it = caches_.find(source);
+  if (it == caches_.end())
+    it = caches_.emplace(source, RecoveryCache(cesrm_config_.cache_capacity))
+             .first;
+  return it->second;
+}
+
+const RecoveryCache& CesrmAgent::cache(net::NodeId source) const {
+  return const_cast<CesrmAgent*>(this)->mutable_cache(source);
+}
+
+bool CesrmAgent::lost_ever(net::NodeId source, net::SeqNo seq) const {
+  const auto it = lost_ever_.find(source);
+  return it != lost_ever_.end() && it->second.count(seq) != 0;
+}
+
+void CesrmAgent::on_loss_detected(WantState& want) {
+  lost_ever_[want.source].insert(want.seq);
+
+  // Consult the lost packet's per-source cache: if the selected pair names
+  // us as the expeditious requestor, arm the expedited request
+  // (REORDER-DELAY in the future).
+  const auto pair = select_pair(mutable_cache(want.source),
+                                cesrm_config_.policy);
+  if (!pair || pair->requestor != node()) return;
+  if (pair->replier == node() || pair->replier == net::kInvalidNode) return;
+
+  want.exp_replier = pair->replier;
+  want.exp_ann.requestor = node();
+  want.exp_ann.dist_requestor_source = distance_to(want.source);
+  want.exp_ann.replier = pair->replier;
+  want.exp_ann.dist_replier_requestor = pair->dist_replier_requestor;
+  want.exp_ann.turning_point = pair->turning_point;
+  const net::NodeId source = want.source;
+  const net::SeqNo seq = want.seq;
+  want.exp_timer = std::make_unique<sim::Timer>(
+      sim_, [this, source, seq] { exp_timer_fired(source, seq); });
+  want.exp_timer->arm(cesrm_config_.reorder_delay);
+}
+
+void CesrmAgent::exp_timer_fired(net::NodeId source, net::SeqNo seq) {
+  if (failed()) return;
+  StreamState& s = stream(source);
+  const auto it = s.want.find(seq);
+  CESRM_CHECK_MSG(it != s.want.end(), "expedited timer for unknown loss");
+  WantState& want = *it->second;
+  CESRM_CHECK(!want.recovered);
+  ++stats_.exp_requests_sent;
+  net_.unicast(node(), net::make_exp_request_packet(
+                           node(), want.exp_replier, source, seq,
+                           want.exp_ann));
+}
+
+void CesrmAgent::on_packet_available(net::NodeId source, net::SeqNo seq) {
+  // Nothing to do: the WantState — and with it any armed expedited-request
+  // timer — was destroyed by mark_received(), which also counted the
+  // cancellation in HostStats::exp_requests_cancelled.
+  (void)source;
+  (void)seq;
+}
+
+void CesrmAgent::on_reply_observed(const net::Packet& pkt) {
+  // §3.1: replies update the cache only at hosts that suffered the loss.
+  if (originates(pkt.source) || !lost_ever(pkt.source, pkt.seq)) return;
+  if (pkt.ann.requestor == net::kInvalidNode ||
+      pkt.ann.replier == net::kInvalidNode)
+    return;
+  mutable_cache(pkt.source)
+      .update(RecoveryTuple::from_annotation(pkt.seq, pkt.ann));
+}
+
+void CesrmAgent::on_exp_request(const net::Packet& pkt) {
+  CESRM_CHECK(pkt.dest == node());
+  // The request tells us the packet exists even if we never saw it.
+  if (!originates(pkt.source)) note_new_sequence(pkt.source, pkt.seq);
+
+  if (!has_packet(pkt.source, pkt.seq))
+    return;  // shared loss: expedited recovery fails
+
+  ReplyState& rs = reply_state(pkt.source, pkt.seq);
+  if (rs.scheduled || sim_.now() < rs.abstinence_until)
+    return;  // a reply is already scheduled or pending (§3.2)
+
+  net::RecoveryAnnotation ann;
+  ann.requestor = pkt.ann.requestor;
+  ann.dist_requestor_source = pkt.ann.dist_requestor_source;
+  ann.replier = node();
+  ann.dist_replier_requestor = distance_to(pkt.ann.requestor);
+  ann.turning_point = pkt.ann.turning_point;
+
+  ++stats_.exp_replies_sent;
+  const net::Packet reply =
+      net::make_exp_reply_packet(node(), pkt.source, pkt.seq, ann);
+  if (cesrm_config_.router_assist &&
+      pkt.ann.turning_point != net::kInvalidNode &&
+      pkt.ann.turning_point != net_.tree().root()) {
+    // §3.3: localize the retransmission — unicast to the turning-point
+    // router, which subcasts it to its subtree only. A root turning point
+    // offers no localization (the subcast would cover the whole tree while
+    // the unicast leg adds crossings), so fall back to plain multicast.
+    net_.unicast_subcast(node(), pkt.ann.turning_point, reply);
+  } else {
+    net_.multicast(node(), reply);
+  }
+  // Sending a reply starts the reply abstinence period.
+  rs.abstinence_until =
+      sim_.now() + sim::SimTime::from_seconds(
+                       config_.d3 * distance_to(pkt.ann.requestor));
+}
+
+}  // namespace cesrm::cesrm

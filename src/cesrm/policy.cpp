@@ -1,0 +1,31 @@
+#include "cesrm/policy.hpp"
+
+#include "util/check.hpp"
+
+namespace cesrm::cesrm {
+
+const char* policy_name(ExpeditionPolicy policy) {
+  switch (policy) {
+    case ExpeditionPolicy::kMostRecent: return "most-recent";
+    case ExpeditionPolicy::kMostFrequent: return "most-frequent";
+  }
+  return "?";
+}
+
+ExpeditionPolicy parse_policy(const std::string& name) {
+  if (name == "most-recent") return ExpeditionPolicy::kMostRecent;
+  if (name == "most-frequent") return ExpeditionPolicy::kMostFrequent;
+  CESRM_CHECK_MSG(false, "unknown expedition policy: " << name);
+  return ExpeditionPolicy::kMostRecent;
+}
+
+std::optional<RecoveryTuple> select_pair(const RecoveryCache& cache,
+                                         ExpeditionPolicy policy) {
+  switch (policy) {
+    case ExpeditionPolicy::kMostRecent: return cache.most_recent();
+    case ExpeditionPolicy::kMostFrequent: return cache.most_frequent();
+  }
+  return std::nullopt;
+}
+
+}  // namespace cesrm::cesrm

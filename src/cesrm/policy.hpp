@@ -1,0 +1,32 @@
+// policy.hpp — expeditious requestor/replier selection policies (§3.2).
+//
+// Upon detecting a loss, the receiver consults its cache to pick the pair
+// that will attempt the expedited recovery. The paper defines two
+// policies and evaluates with MOST_RECENT (which its trace analysis found
+// superior, and which only needs a cache of one entry):
+//
+//  * kMostRecent  — the optimal pair of the most recent recovered loss;
+//  * kMostFrequent — the pair appearing most often in the cache.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "cesrm/cache.hpp"
+
+namespace cesrm::cesrm {
+
+enum class ExpeditionPolicy {
+  kMostRecent,
+  kMostFrequent,
+};
+
+const char* policy_name(ExpeditionPolicy policy);
+/// Parses "most-recent" / "most-frequent"; CHECK-fails otherwise.
+ExpeditionPolicy parse_policy(const std::string& name);
+
+/// Applies `policy` to `cache`; nullopt when the cache is empty.
+std::optional<RecoveryTuple> select_pair(const RecoveryCache& cache,
+                                         ExpeditionPolicy policy);
+
+}  // namespace cesrm::cesrm

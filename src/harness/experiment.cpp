@@ -1,0 +1,192 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "infer/link_estimator.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace cesrm::harness {
+
+const char* protocol_name(Protocol p) {
+  return p == Protocol::kSrm ? "SRM" : "CESRM";
+}
+
+std::vector<const MemberResult*> ExperimentResult::receivers() const {
+  std::vector<const MemberResult*> out;
+  for (const auto& m : members)
+    if (!m.is_source) out.push_back(&m);
+  return out;
+}
+
+std::uint64_t ExperimentResult::total_losses_detected() const {
+  std::uint64_t n = 0;
+  for (const auto& m : members) n += m.stats.losses_detected;
+  return n;
+}
+
+std::uint64_t ExperimentResult::total_silent_repairs() const {
+  std::uint64_t n = 0;
+  for (const auto& m : members) n += m.stats.repairs_before_detection;
+  return n;
+}
+
+std::uint64_t ExperimentResult::total_recovered() const {
+  std::uint64_t n = 0;
+  for (const auto& m : members)
+    for (const auto& r : m.stats.recoveries) n += r.recovered ? 1 : 0;
+  return n;
+}
+
+std::uint64_t ExperimentResult::total_unrecovered() const {
+  std::uint64_t n = 0;
+  for (const auto& m : members)
+    for (const auto& r : m.stats.recoveries) n += r.recovered ? 0 : 1;
+  return n;
+}
+
+std::uint64_t ExperimentResult::total_requests_sent() const {
+  std::uint64_t n = 0;
+  for (const auto& m : members) n += m.stats.requests_sent;
+  return n;
+}
+
+std::uint64_t ExperimentResult::total_replies_sent() const {
+  std::uint64_t n = 0;
+  for (const auto& m : members) n += m.stats.replies_sent;
+  return n;
+}
+
+std::uint64_t ExperimentResult::total_exp_requests_sent() const {
+  std::uint64_t n = 0;
+  for (const auto& m : members) n += m.stats.exp_requests_sent;
+  return n;
+}
+
+std::uint64_t ExperimentResult::total_exp_replies_sent() const {
+  std::uint64_t n = 0;
+  for (const auto& m : members) n += m.stats.exp_replies_sent;
+  return n;
+}
+
+double ExperimentResult::mean_normalized_recovery_time() const {
+  double sum = 0.0;
+  std::uint64_t count = 0;
+  for (const auto& m : members) {
+    if (m.is_source || m.rtt_to_source <= 0.0) continue;
+    for (const auto& r : m.stats.recoveries) {
+      if (!r.recovered) continue;
+      sum += r.latency_seconds() / m.rtt_to_source;
+      ++count;
+    }
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+ExperimentResult run_experiment(const trace::LossTrace& loss_trace,
+                                const infer::LinkTraceRepresentation& links,
+                                const ExperimentConfig& config) {
+  const auto& tree = loss_trace.tree();
+  sim::Simulator sim;
+  net::Network network(sim, tree, config.network);
+  util::Rng rng(config.seed);
+
+  // --- members: source first, then receivers in tree order -------------
+  const net::NodeId source = tree.root();
+  std::vector<net::NodeId> member_nodes{source};
+  for (net::NodeId r : tree.receivers()) member_nodes.push_back(r);
+
+  std::vector<std::unique_ptr<srm::SrmAgent>> agents;
+  agents.reserve(member_nodes.size());
+  for (net::NodeId node : member_nodes) {
+    util::Rng agent_rng = rng.fork(static_cast<std::uint64_t>(node) + 1);
+    if (config.protocol == Protocol::kCesrm) {
+      agents.push_back(std::make_unique<cesrm::CesrmAgent>(
+          sim, network, node, source, config.cesrm, agent_rng));
+    } else {
+      agents.push_back(std::make_unique<srm::SrmAgent>(
+          sim, network, node, source, config.cesrm.srm, agent_rng));
+    }
+  }
+
+  // --- loss injection ---------------------------------------------------
+  // Data packets drop on exactly the links named by the link trace
+  // representation (downstream crossings only — data flows down the tree).
+  // Recovery packets are lossless unless lossy_recovery is on, in which
+  // case each crossing flips a coin with the link's estimated loss rate.
+  // Session packets are never dropped (§4.3).
+  std::vector<double> recovery_rates;
+  if (config.lossy_recovery)
+    recovery_rates = infer::estimate_links_yajnik(loss_trace).loss_rate;
+  util::Rng drop_rng = rng.fork(0x10551055ULL);
+
+  network.set_drop_fn([&](const net::Packet& pkt, net::NodeId from,
+                          net::NodeId to) {
+    switch (pkt.type) {
+      case net::PacketType::kData: {
+        if (tree.parent(to) != from) return false;  // upstream: impossible
+        const auto& drops = links.drop_links(pkt.seq);
+        return std::binary_search(drops.begin(), drops.end(), to);
+      }
+      case net::PacketType::kSession:
+        return false;
+      default: {
+        if (!config.lossy_recovery) return false;
+        const net::LinkId link = tree.parent(to) == from ? to : from;
+        return drop_rng.bernoulli(
+            recovery_rates[static_cast<std::size_t>(link)]);
+      }
+    }
+  });
+
+  // --- session warm-up ---------------------------------------------------
+  for (auto& agent : agents) {
+    const auto offset = sim::SimTime::millis(rng.uniform_int(
+        0, config.cesrm.srm.session_period.ns() / 1000000 - 1));
+    agent->start_session(offset);
+  }
+
+  // --- data transmission --------------------------------------------------
+  net::SeqNo packet_count = loss_trace.packet_count();
+  if (config.max_packets > 0)
+    packet_count = std::min(packet_count, config.max_packets);
+  srm::SrmAgent* src_agent = agents.front().get();
+  // Chained scheduling keeps the pending-event set small.
+  std::function<void(net::SeqNo)> send_next = [&](net::SeqNo seq) {
+    src_agent->send_data(seq);
+    if (seq + 1 < packet_count)
+      sim.schedule_in(loss_trace.period(),
+                      [&send_next, seq] { send_next(seq + 1); });
+  };
+  sim.schedule_at(config.warmup, [&send_next] { send_next(0); });
+
+  const sim::SimTime horizon =
+      config.warmup +
+      loss_trace.period() * static_cast<std::int64_t>(packet_count) +
+      config.drain;
+  sim.run_until(horizon);
+
+  // --- collection ---------------------------------------------------------
+  ExperimentResult result;
+  result.trace_name = loss_trace.name();
+  result.protocol = config.protocol;
+  result.events_executed = sim.events_executed();
+  result.sim_end = sim.now();
+  result.packets_sent = packet_count;
+  for (std::size_t i = 0; i < agents.size(); ++i) {
+    agents[i]->stop_session();
+    agents[i]->finalize_stats();
+    MemberResult m;
+    m.node = member_nodes[i];
+    m.is_source = member_nodes[i] == source;
+    m.stats = agents[i]->stats();
+    m.rtt_to_source =
+        2.0 * network.path_delay(member_nodes[i], source).to_seconds();
+    result.members.push_back(std::move(m));
+  }
+  result.crossings = network.crossings();
+  return result;
+}
+
+}  // namespace cesrm::harness

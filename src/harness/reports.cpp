@@ -1,0 +1,165 @@
+#include "harness/reports.hpp"
+
+#include "util/check.hpp"
+
+namespace cesrm::harness {
+
+std::vector<ReceiverRecoveryStats> receiver_recovery_stats(
+    const ExperimentResult& result) {
+  std::vector<ReceiverRecoveryStats> rows;
+  int idx = 0;
+  for (const auto& m : result.members) {
+    if (m.is_source) continue;
+    ++idx;
+    ReceiverRecoveryStats row;
+    row.receiver = idx;
+    row.node = m.node;
+    row.losses = m.stats.losses_detected;
+    double sum_all = 0.0;
+    double sum_exp = 0.0;
+    double sum_non = 0.0;
+    std::uint64_t n_exp = 0;
+    std::uint64_t n_non = 0;
+    for (const auto& r : m.stats.recoveries) {
+      if (!r.recovered) continue;
+      ++row.recovered;
+      CESRM_CHECK(m.rtt_to_source > 0.0);
+      const double norm = r.latency_seconds() / m.rtt_to_source;
+      sum_all += norm;
+      if (r.expedited) {
+        ++n_exp;
+        sum_exp += norm;
+      } else {
+        ++n_non;
+        sum_non += norm;
+      }
+    }
+    row.expedited = n_exp;
+    row.avg_norm_all =
+        row.recovered ? sum_all / static_cast<double>(row.recovered) : 0.0;
+    row.avg_norm_expedited =
+        n_exp ? sum_exp / static_cast<double>(n_exp) : 0.0;
+    row.avg_norm_non_expedited =
+        n_non ? sum_non / static_cast<double>(n_non) : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig1Row> figure1(const ExperimentResult& srm,
+                             const ExperimentResult& cesrm) {
+  const auto s = receiver_recovery_stats(srm);
+  const auto c = receiver_recovery_stats(cesrm);
+  CESRM_CHECK(s.size() == c.size());
+  std::vector<Fig1Row> rows;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    CESRM_CHECK(s[i].node == c[i].node);
+    Fig1Row row;
+    row.receiver = s[i].receiver;
+    row.srm_avg_norm = s[i].avg_norm_all;
+    row.cesrm_avg_norm = c[i].avg_norm_all;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+std::vector<Fig2Row> figure2(const ExperimentResult& cesrm) {
+  std::vector<Fig2Row> rows;
+  for (const auto& r : receiver_recovery_stats(cesrm)) {
+    Fig2Row row;
+    row.receiver = r.receiver;
+    row.expedited = r.expedited;
+    row.non_expedited = r.recovered - r.expedited;
+    row.difference_rtt = (r.expedited && row.non_expedited)
+                             ? r.avg_norm_non_expedited - r.avg_norm_expedited
+                             : 0.0;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+namespace {
+
+std::vector<PacketCountRow> packet_counts(
+    const ExperimentResult& srm, const ExperimentResult& cesrm,
+    std::uint64_t srm::HostStats::* normal,
+    std::uint64_t srm::HostStats::* expedited) {
+  CESRM_CHECK(srm.members.size() == cesrm.members.size());
+  std::vector<PacketCountRow> rows;
+  for (std::size_t i = 0; i < srm.members.size(); ++i) {
+    CESRM_CHECK(srm.members[i].node == cesrm.members[i].node);
+    PacketCountRow row;
+    row.member = static_cast<int>(i);  // 0 = source
+    row.srm = srm.members[i].stats.*normal;
+    row.cesrm = cesrm.members[i].stats.*normal;
+    row.cesrm_exp = cesrm.members[i].stats.*expedited;
+    rows.push_back(row);
+  }
+  return rows;
+}
+
+}  // namespace
+
+std::vector<PacketCountRow> figure3_requests(const ExperimentResult& srm,
+                                             const ExperimentResult& cesrm) {
+  return packet_counts(srm, cesrm, &srm::HostStats::requests_sent,
+                       &srm::HostStats::exp_requests_sent);
+}
+
+std::vector<PacketCountRow> figure4_replies(const ExperimentResult& srm,
+                                            const ExperimentResult& cesrm) {
+  return packet_counts(srm, cesrm, &srm::HostStats::replies_sent,
+                       &srm::HostStats::exp_replies_sent);
+}
+
+Fig5Stats figure5(const ExperimentResult& srm, const ExperimentResult& cesrm) {
+  Fig5Stats out;
+  out.trace_name = cesrm.trace_name;
+
+  const std::uint64_t erqst = cesrm.total_exp_requests_sent();
+  const std::uint64_t erepl = cesrm.total_exp_replies_sent();
+  out.pct_successful_expedited =
+      erqst ? 100.0 * static_cast<double>(erepl) / static_cast<double>(erqst)
+            : 0.0;
+
+  using PT = net::PacketType;
+  const auto total = [](const net::CrossingStats& c, PT t) {
+    return c.total_of(t);
+  };
+  const std::uint64_t srm_retrans = total(srm.crossings, PT::kReply);
+  const std::uint64_t cesrm_retrans =
+      total(cesrm.crossings, PT::kReply) + total(cesrm.crossings, PT::kExpReply);
+  out.retransmission_pct_of_srm =
+      srm_retrans ? 100.0 * static_cast<double>(cesrm_retrans) /
+                        static_cast<double>(srm_retrans)
+                  : 0.0;
+
+  const std::uint64_t srm_control = total(srm.crossings, PT::kRequest);
+  out.control_multicast_pct_of_srm =
+      srm_control ? 100.0 *
+                        static_cast<double>(total(cesrm.crossings,
+                                                  PT::kRequest)) /
+                        static_cast<double>(srm_control)
+                  : 0.0;
+  out.control_unicast_pct_of_srm =
+      srm_control ? 100.0 *
+                        static_cast<double>(total(cesrm.crossings,
+                                                  PT::kExpRequest)) /
+                        static_cast<double>(srm_control)
+                  : 0.0;
+  return out;
+}
+
+AnalysisBounds analysis_bounds(const srm::SrmConfig& config) {
+  AnalysisBounds b;
+  // Eq. (1): (C1 + C2/2)·d + d + (D1 + D2/2)·d + d
+  b.srm_first_round_bound_d = (config.c1 + 0.5 * config.c2) + 1.0 +
+                              (config.d1 + 0.5 * config.d2) + 1.0;
+  b.srm_first_round_bound_rtt = b.srm_first_round_bound_d / 2.0;
+  // Eq. (2): REORDER-DELAY + RTT ≈ RTT for negligible REORDER-DELAY.
+  b.expedited_bound_rtt = 1.0;
+  b.predicted_gain_rtt = b.srm_first_round_bound_rtt - b.expedited_bound_rtt;
+  return b;
+}
+
+}  // namespace cesrm::harness

@@ -1,0 +1,160 @@
+#include "infer/combination_solver.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/check.hpp"
+
+namespace cesrm::infer {
+
+CombinationSolver::CombinationSolver(const net::MulticastTree& tree,
+                                     std::vector<double> link_loss_rate,
+                                     std::vector<net::NodeId> receivers,
+                                     double epsilon)
+    : tree_(tree), p_(std::move(link_loss_rate)),
+      receivers_(std::move(receivers)) {
+  CESRM_CHECK(p_.size() == tree_.size());
+  CESRM_CHECK(!receivers_.empty() && receivers_.size() <= 32);
+  for (net::LinkId l : tree_.links()) {
+    auto& p = p_[static_cast<std::size_t>(l)];
+    p = std::clamp(p, epsilon, 1.0 - epsilon);
+  }
+
+  // Per-node pattern masks over the dense receiver-bit space.
+  subtree_mask_.assign(tree_.size(), 0);
+  for (std::size_t r = 0; r < receivers_.size(); ++r) {
+    net::NodeId v = receivers_[r];
+    while (v != net::kInvalidNode) {
+      subtree_mask_[static_cast<std::size_t>(v)] |=
+          (trace::LossPattern{1} << r);
+      v = tree_.parent(v);
+    }
+  }
+
+  // value_none(v): probability that no link in v's subtree (including the
+  // link into v) drops — product of (1−p) over all those links. Computed
+  // bottom-up once; reused by every pattern.
+  value_none_.assign(tree_.size(), 1.0);
+  std::function<double(net::NodeId)> none = [&](net::NodeId v) -> double {
+    double prod = tree_.is_root(v) ? 1.0
+                                   : 1.0 - p_[static_cast<std::size_t>(v)];
+    for (net::NodeId c : tree_.children(v)) prod *= none(c);
+    value_none_[static_cast<std::size_t>(v)] = prod;
+    return prod;
+  };
+  none(tree_.root());
+}
+
+const CombinationResult& CombinationSolver::solve(
+    trace::LossPattern pattern) const {
+  auto it = cache_.find(pattern);
+  if (it != cache_.end()) return it->second;
+  return cache_.emplace(pattern, compute(pattern)).first->second;
+}
+
+CombinationResult CombinationSolver::compute(
+    trace::LossPattern pattern) const {
+  CombinationResult result;
+  if (pattern == 0) {
+    result.probability = value_none_[static_cast<std::size_t>(tree_.root())];
+    result.confidence = 1.0;
+    return result;
+  }
+  CESRM_CHECK_MSG((pattern & subtree_mask_[static_cast<std::size_t>(
+                                 tree_.root())]) == pattern,
+                  "pattern references unknown receivers");
+
+  // Max-product and sum-product in one pass. For each node (called only
+  // with x_v != ∅ slices) we return {max value, sum value, cut-here flag}.
+  struct NodeValue {
+    double best;
+    double sum;
+    bool cut;  // whether the max choice cuts the incoming link
+  };
+  // Recursion also records, for max reconstruction, the choice per node;
+  // we reconstruct in a second pass using the memo below.
+  std::vector<signed char> choice(tree_.size(), -1);  // 1=cut, 0=pass
+
+  std::function<NodeValue(net::NodeId)> eval =
+      [&](net::NodeId v) -> NodeValue {
+    const auto vi = static_cast<std::size_t>(v);
+    const trace::LossPattern mine = pattern & subtree_mask_[vi];
+    CESRM_DCHECK(mine != 0);
+    const bool full = mine == subtree_mask_[vi];
+    const double keep = tree_.is_root(v) ? 1.0 : 1.0 - p_[vi];
+
+    if (tree_.is_leaf(v)) {
+      // A lost leaf must have its link cut (the caller guarantees the
+      // packet reached the parent in this configuration).
+      CESRM_DCHECK(full);
+      choice[vi] = 1;
+      return NodeValue{p_[vi], p_[vi], true};
+    }
+
+    // Value of not cutting here: product over children, where a child with
+    // an empty slice contributes its all-delivered value.
+    double pass_best = keep;
+    double pass_sum = keep;
+    for (net::NodeId c : tree_.children(v)) {
+      const auto ci = static_cast<std::size_t>(c);
+      const trace::LossPattern slice = pattern & subtree_mask_[ci];
+      if (slice == 0) {
+        pass_best *= value_none_[ci];
+        pass_sum *= value_none_[ci];
+      } else {
+        const NodeValue cv = eval(c);
+        pass_best *= cv.best;
+        pass_sum *= cv.sum;
+      }
+    }
+
+    if (full && !tree_.is_root(v)) {
+      const double cut = p_[vi];
+      const bool cut_wins = cut > pass_best;
+      choice[vi] = cut_wins ? 1 : 0;
+      return NodeValue{cut_wins ? cut : pass_best, cut + pass_sum, cut_wins};
+    }
+    choice[vi] = 0;
+    return NodeValue{pass_best, pass_sum, false};
+  };
+
+  const NodeValue root_val = eval(tree_.root());
+  result.probability = root_val.best;
+  result.confidence =
+      root_val.sum > 0.0 ? root_val.best / root_val.sum : 0.0;
+
+  // Reconstruct the cut set: walk down, stopping at cut links and at
+  // empty-slice subtrees.
+  std::function<void(net::NodeId)> collect = [&](net::NodeId v) {
+    const auto vi = static_cast<std::size_t>(v);
+    const trace::LossPattern mine = pattern & subtree_mask_[vi];
+    if (mine == 0) return;
+    if (!tree_.is_root(v) && choice[vi] == 1) {
+      result.links.push_back(v);
+      return;
+    }
+    for (net::NodeId c : tree_.children(v)) collect(c);
+  };
+  collect(tree_.root());
+  std::sort(result.links.begin(), result.links.end());
+  return result;
+}
+
+net::LinkId CombinationSolver::link_for(trace::LossPattern pattern,
+                                        std::size_t ridx) const {
+  if ((pattern & (trace::LossPattern{1} << ridx)) == 0)
+    return net::kInvalidLink;
+  const CombinationResult& res = solve(pattern);
+  // The responsible link is the unique selected link on the receiver's
+  // path to the root.
+  net::NodeId v = receivers_[ridx];
+  while (v != net::kInvalidNode) {
+    if (std::binary_search(res.links.begin(), res.links.end(), v)) return v;
+    v = tree_.parent(v);
+  }
+  CESRM_CHECK_MSG(false, "selected combination does not cover receiver bit "
+                             << ridx);
+  return net::kInvalidLink;
+}
+
+}  // namespace cesrm::infer

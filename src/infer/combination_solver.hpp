@@ -1,0 +1,74 @@
+// combination_solver.hpp — most-probable link combination per loss pattern.
+//
+// §4.2 of the paper: an observed loss pattern x (the set of receivers that
+// lost a packet) may be explained by many combinations c of dropped links;
+// assuming independent link losses, p(c) = Π_{l∈L_c} p(l) ·
+// Π_{l'∈U_c} (1−p(l')), where U_c excludes links downstream of a drop.
+// The representative combination is the one maximizing p(c), and its
+// posterior confidence is p(c) / Σ_{c'∈C_x} p(c').
+//
+// Enumerating C_x is exponential; both quantities factor over the tree, so
+// we compute them with a max-product (argmax tracking) and a sum-product
+// dynamic program in O(|N|) per pattern:
+//
+//   value(v) for subtree link l_v, given pattern slice x_v:
+//     x_v = ∅:          (1−p(l_v)) · Π_children value_none     (no cut below)
+//     x_v = leaves(v):  p(l_v)  ⊕  (1−p(l_v)) · Π_children value(c)
+//     otherwise:        (1−p(l_v)) · Π_children value(c)
+//
+// where ⊕ is max (max-product) or + (sum-product). Estimated link rates
+// are clamped to [ε, 1−ε] so patterns remain explainable when an estimate
+// degenerates to exactly 0 or 1.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "net/topology.hpp"
+#include "trace/loss_trace.hpp"
+
+namespace cesrm::infer {
+
+struct CombinationResult {
+  /// The selected (most probable) combination: the dropped links, each an
+  /// ancestor link of every receiver it explains; an antichain in the tree.
+  std::vector<net::LinkId> links;
+  /// p(c) of the selected combination (with clamped link rates).
+  double probability = 0.0;
+  /// Posterior p(c) / Σ_{c'} p(c') — the §4.2 confidence statistic.
+  double confidence = 0.0;
+};
+
+class CombinationSolver {
+ public:
+  /// `link_loss_rate` indexed by LinkId (= child node id). `receivers`
+  /// maps pattern bit index → receiver node (LossTrace::receivers()).
+  CombinationSolver(const net::MulticastTree& tree,
+                    std::vector<double> link_loss_rate,
+                    std::vector<net::NodeId> receivers,
+                    double epsilon = 1e-6);
+
+  /// Solves for one loss pattern. Results are memoized; repeated patterns
+  /// (the common case in bursty traces) are O(1) after the first call.
+  const CombinationResult& solve(trace::LossPattern pattern) const;
+
+  /// The link responsible for receiver bit `ridx` under `pattern`
+  /// (the unique selected link on the receiver's root path);
+  /// kInvalidLink if the receiver did not lose the packet.
+  net::LinkId link_for(trace::LossPattern pattern, std::size_t ridx) const;
+
+  std::size_t cache_size() const { return cache_.size(); }
+
+ private:
+  CombinationResult compute(trace::LossPattern pattern) const;
+
+  const net::MulticastTree& tree_;
+  std::vector<double> p_;        // clamped link loss rates
+  std::vector<net::NodeId> receivers_;
+  std::vector<trace::LossPattern> subtree_mask_;  // per node
+  std::vector<double> value_none_;  // per node: all-delivered subtree product
+  mutable std::unordered_map<trace::LossPattern, CombinationResult> cache_;
+};
+
+}  // namespace cesrm::infer

@@ -1,0 +1,37 @@
+// link_estimator.hpp — per-link loss-rate estimation, Yajnik et al. style.
+//
+// The direct method of Yajnik et al. [15], as used for the paper's
+// simulations (§4.2): a packet is deemed to have *arrived* at an internal
+// node when at least one receiver below that node received it (the source
+// always "arrives"), and the loss rate of link parent→child is estimated
+// as the fraction of packets that arrived at the parent but not at the
+// child, over packets that arrived at the parent.
+//
+// The method shares the data's inherent ambiguities: losses inside a chain
+// of single-child routers cannot be attributed to a specific chain link
+// (all the mass lands on the deepest link with distinguishable evidence),
+// and a loss event hiding an entire subtree under-counts interior
+// arrivals. Both effects are present in the original paper as well; the
+// MINC estimator (minc_estimator.hpp) provides the maximum-likelihood
+// cross-check the paper performed.
+#pragma once
+
+#include <vector>
+
+#include "trace/loss_trace.hpp"
+
+namespace cesrm::infer {
+
+/// Per-link loss-rate estimates, indexed by LinkId (= child node id);
+/// the root's slot is unused (0).
+struct LinkEstimate {
+  std::vector<double> loss_rate;
+  /// Number of packets that arrived at the parent of each link (the
+  /// denominator of the estimate — small denominators mean noisy rates).
+  std::vector<std::uint64_t> samples;
+};
+
+/// Estimates all link loss rates from the observed per-receiver sequences.
+LinkEstimate estimate_links_yajnik(const trace::LossTrace& trace);
+
+}  // namespace cesrm::infer

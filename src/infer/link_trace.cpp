@@ -1,0 +1,97 @@
+#include "infer/link_trace.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cesrm::infer {
+
+LinkTraceRepresentation::LinkTraceRepresentation(
+    const trace::LossTrace& trace, std::vector<double> link_loss_rate)
+    : trace_(&trace) {
+  solver_ = std::make_unique<CombinationSolver>(
+      trace.tree(), std::move(link_loss_rate), trace.receivers());
+  per_packet_links_.resize(static_cast<std::size_t>(trace.packet_count()));
+  per_packet_confidence_.assign(
+      static_cast<std::size_t>(trace.packet_count()), 1.0f);
+  for (net::SeqNo i = 0; i < trace.packet_count(); ++i) {
+    const trace::LossPattern x = trace.pattern(i);
+    if (x == 0) continue;
+    const CombinationResult& res = solver_->solve(x);
+    per_packet_links_[static_cast<std::size_t>(i)] = res.links;
+    per_packet_confidence_[static_cast<std::size_t>(i)] =
+        static_cast<float>(res.confidence);
+  }
+}
+
+const std::vector<net::LinkId>& LinkTraceRepresentation::drop_links(
+    net::SeqNo seq) const {
+  CESRM_CHECK(seq >= 0 && seq < packet_count());
+  return per_packet_links_[static_cast<std::size_t>(seq)];
+}
+
+net::LinkId LinkTraceRepresentation::link_for(std::size_t ridx,
+                                              net::SeqNo seq) const {
+  if (!trace_->lost(ridx, seq)) return net::kInvalidLink;
+  const auto& links = drop_links(seq);
+  net::NodeId v = trace_->receiver_node(ridx);
+  while (v != net::kInvalidNode) {
+    if (std::binary_search(links.begin(), links.end(), v)) return v;
+    v = trace_->tree().parent(v);
+  }
+  CESRM_CHECK_MSG(false, "no responsible link for receiver " << ridx
+                                                             << " seq " << seq);
+  return net::kInvalidLink;
+}
+
+double LinkTraceRepresentation::confidence(net::SeqNo seq) const {
+  CESRM_CHECK(seq >= 0 && seq < packet_count());
+  return per_packet_confidence_[static_cast<std::size_t>(seq)];
+}
+
+double LinkTraceRepresentation::fraction_confident(double threshold) const {
+  std::uint64_t lossy = 0;
+  std::uint64_t confident = 0;
+  for (net::SeqNo i = 0; i < packet_count(); ++i) {
+    if (per_packet_links_[static_cast<std::size_t>(i)].empty()) continue;
+    ++lossy;
+    if (confidence(i) > threshold) ++confident;
+  }
+  return lossy ? static_cast<double>(confident) / static_cast<double>(lossy)
+               : 1.0;
+}
+
+double LinkTraceRepresentation::truth_match_fraction(
+    const std::vector<std::vector<net::LinkId>>& truth) const {
+  CESRM_CHECK(static_cast<net::SeqNo>(truth.size()) == packet_count());
+  std::uint64_t lossy = 0;
+  std::uint64_t matched = 0;
+  const auto& tree = trace_->tree();
+  for (net::SeqNo i = 0; i < packet_count(); ++i) {
+    const auto& selected = per_packet_links_[static_cast<std::size_t>(i)];
+    if (selected.empty()) continue;
+    ++lossy;
+    // Ground truth may include drops that shadowed no receiver (already
+    // under another dropped link) or, in principle, drops on links whose
+    // entire receiver set also lost the packet via an ancestor; restrict
+    // to the *effective* antichain: true drops not downstream of another
+    // true drop.
+    std::vector<net::LinkId> effective;
+    for (net::LinkId l : truth[static_cast<std::size_t>(i)]) {
+      bool shadowed = false;
+      for (net::LinkId other : truth[static_cast<std::size_t>(i)]) {
+        if (other != l && tree.is_ancestor(other, l)) {
+          shadowed = true;
+          break;
+        }
+      }
+      if (!shadowed) effective.push_back(l);
+    }
+    std::sort(effective.begin(), effective.end());
+    if (effective == selected) ++matched;
+  }
+  return lossy ? static_cast<double>(matched) / static_cast<double>(lossy)
+               : 1.0;
+}
+
+}  // namespace cesrm::infer

@@ -1,0 +1,61 @@
+// link_trace.hpp — the "link trace representation" of §4.2.
+//
+// link : R → (I → L ∪ {⊥}) maps every (receiver, packet) loss to the tree
+// link estimated responsible for it. It is produced by running the
+// combination solver over each packet's observed loss pattern and is what
+// drives loss injection in the trace-driven simulations (§4.3): when the
+// source multicasts packet i, the network drops it on exactly the selected
+// links, reproducing the original loss pattern.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "infer/combination_solver.hpp"
+#include "infer/link_estimator.hpp"
+#include "trace/loss_trace.hpp"
+
+namespace cesrm::infer {
+
+class LinkTraceRepresentation {
+ public:
+  /// Builds the representation for `trace` using `link_loss_rate`
+  /// estimates (e.g. from estimate_links_yajnik).
+  LinkTraceRepresentation(const trace::LossTrace& trace,
+                          std::vector<double> link_loss_rate);
+
+  /// The links on which packet `seq` is to be dropped (an antichain).
+  const std::vector<net::LinkId>& drop_links(net::SeqNo seq) const;
+
+  /// link(r)(i): the link responsible for receiver index `ridx` losing
+  /// packet `seq`; kInvalidLink (⊥) when the receiver received it.
+  net::LinkId link_for(std::size_t ridx, net::SeqNo seq) const;
+
+  /// Posterior confidence of the combination selected for packet `seq`
+  /// (1.0 for packets without losses).
+  double confidence(net::SeqNo seq) const;
+
+  /// §4.2 accuracy statistic: the fraction of lossy packets whose selected
+  /// combination has confidence > `threshold`.
+  double fraction_confident(double threshold) const;
+
+  /// Ground-truth validation (synthetic traces only): fraction of lossy
+  /// packets whose selected combination equals the true drop-link set
+  /// restricted to links that actually caused receiver losses.
+  double truth_match_fraction(
+      const std::vector<std::vector<net::LinkId>>& truth) const;
+
+  net::SeqNo packet_count() const {
+    return static_cast<net::SeqNo>(per_packet_links_.size());
+  }
+  const trace::LossTrace& trace() const { return *trace_; }
+  const CombinationSolver& solver() const { return *solver_; }
+
+ private:
+  const trace::LossTrace* trace_;
+  std::unique_ptr<CombinationSolver> solver_;
+  std::vector<std::vector<net::LinkId>> per_packet_links_;
+  std::vector<float> per_packet_confidence_;
+};
+
+}  // namespace cesrm::infer

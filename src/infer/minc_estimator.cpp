@@ -1,0 +1,160 @@
+#include "infer/minc_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace cesrm::infer {
+
+namespace {
+
+/// Solves 1 − γ_k/A = Π_j (1 − γ_j/A) for A in (lower, 1] by bisection.
+/// `lower` is max_j γ_j (the largest child γ). Returns 1.0 when the root
+/// lies above 1 (no observable loss above the children).
+double solve_pass_probability(double gamma_k,
+                              const std::vector<double>& child_gammas) {
+  double lo = gamma_k;  // f(lo) <= 0
+  for (double g : child_gammas) lo = std::max(lo, g);
+  if (lo <= 0.0) return 0.0;
+
+  auto f = [&](double a) {
+    double prod = 1.0;
+    for (double g : child_gammas) prod *= (1.0 - g / a);
+    return (1.0 - gamma_k / a) - prod;
+  };
+
+  double hi = 1.0;
+  if (f(hi) <= 0.0) return 1.0;
+  lo = std::max(lo, 1e-12);
+  // f(lo+) <= 0 < f(hi): bisect.
+  for (int it = 0; it < 100; ++it) {
+    const double mid = 0.5 * (lo + hi);
+    if (f(mid) > 0.0)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace
+
+MincEstimate estimate_links_minc(const trace::LossTrace& trace) {
+  const auto& tree = trace.tree();
+  const auto n = tree.size();
+
+  // 1. Empirical γ̂_k: fraction of packets seen by >= 1 receiver under k.
+  std::vector<std::uint64_t> seen(n, 0);
+  std::vector<net::NodeId> order;  // children-before-parents
+  {
+    std::vector<net::NodeId> stack{tree.root()};
+    while (!stack.empty()) {
+      const net::NodeId v = stack.back();
+      stack.pop_back();
+      order.push_back(v);
+      for (net::NodeId c : tree.children(v)) stack.push_back(c);
+    }
+    std::reverse(order.begin(), order.end());
+  }
+  std::vector<std::uint8_t> y(n, 0);
+  for (net::SeqNo i = 0; i < trace.packet_count(); ++i) {
+    for (net::NodeId v : order) {
+      const auto vi = static_cast<std::size_t>(v);
+      if (tree.is_leaf(v)) {
+        y[vi] = trace.lost_by_node(v, i) ? 0 : 1;
+      } else {
+        std::uint8_t any = 0;
+        for (net::NodeId c : tree.children(v))
+          any |= y[static_cast<std::size_t>(c)];
+        y[vi] = any;
+      }
+      if (y[vi]) ++seen[vi];
+    }
+  }
+  std::vector<double> gamma(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v)
+    gamma[v] = static_cast<double>(seen[v]) /
+               static_cast<double>(trace.packet_count());
+
+  // 2. Reduced tree: the "effective children" of a node skip through
+  //    single-child chains (whose links are not individually identifiable).
+  auto chain_tip = [&](net::NodeId c) {
+    net::NodeId v = c;
+    int hops = 1;
+    while (tree.children(v).size() == 1) {
+      v = tree.children(v)[0];
+      ++hops;
+    }
+    return std::pair<net::NodeId, int>(v, hops);
+  };
+
+  // 3. Pass probabilities A_k, top-down over the reduced tree.
+  std::vector<double> pass(n, 1.0);          // A_k
+  MincEstimate out;
+  out.loss_rate.assign(n, 0.0);
+  out.identifiable.assign(n, true);
+
+  // Work queue of reduced nodes, starting at the root (A_root = 1).
+  std::vector<net::NodeId> reduced_stack{tree.root()};
+  while (!reduced_stack.empty()) {
+    const net::NodeId k = reduced_stack.back();
+    reduced_stack.pop_back();
+    const auto ki = static_cast<std::size_t>(k);
+
+    // Effective children and chain lengths.
+    std::vector<net::NodeId> eff_children;
+    std::vector<int> chain_len;
+    for (net::NodeId c : tree.children(k)) {
+      const auto [tip, hops] = chain_tip(c);
+      eff_children.push_back(tip);
+      chain_len.push_back(hops);
+    }
+    if (eff_children.empty()) continue;  // leaf
+
+    for (std::size_t j = 0; j < eff_children.size(); ++j) {
+      const net::NodeId tip = eff_children[j];
+      const auto ti = static_cast<std::size_t>(tip);
+      double a_tip;
+      if (tree.is_leaf(tip)) {
+        // For a leaf, γ = A exactly.
+        a_tip = gamma[ti];
+      } else {
+        std::vector<double> child_gammas;
+        // The tip's own effective children provide the γ's for its MLE
+        // equation.
+        for (net::NodeId cc : tree.children(tip)) {
+          const auto [g_tip, unused] = chain_tip(cc);
+          (void)unused;
+          child_gammas.push_back(gamma[static_cast<std::size_t>(g_tip)]);
+        }
+        a_tip = solve_pass_probability(gamma[ti], child_gammas);
+      }
+      a_tip = std::min(a_tip, pass[ki]);  // cannot exceed the parent's A
+      pass[ti] = a_tip;
+
+      // Composite pass probability over the chain k → ... → tip, split
+      // geometrically over `chain_len[j]` links.
+      const double composite =
+          pass[ki] > 0.0 ? std::clamp(a_tip / pass[ki], 0.0, 1.0) : 0.0;
+      const double per_link =
+          chain_len[j] > 1
+              ? std::pow(composite, 1.0 / static_cast<double>(chain_len[j]))
+              : composite;
+      net::NodeId v = tree.children(k)[j];
+      double a_upstream = pass[ki];
+      for (int hop = 0; hop < chain_len[j]; ++hop) {
+        const auto vi = static_cast<std::size_t>(v);
+        out.loss_rate[vi] = 1.0 - per_link;
+        out.identifiable[vi] = chain_len[j] == 1;
+        a_upstream *= per_link;
+        pass[vi] = a_upstream;
+        if (hop + 1 < chain_len[j]) v = tree.children(v)[0];
+      }
+      if (!tree.is_leaf(tip)) reduced_stack.push_back(tip);
+    }
+  }
+  return out;
+}
+
+}  // namespace cesrm::infer

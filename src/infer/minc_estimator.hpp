@@ -1,0 +1,37 @@
+// minc_estimator.hpp — Cáceres/Duffield/Horowitz/Towsley MLE ("MINC").
+//
+// The multicast-based inference estimator of [2] (Cáceres et al., IEEE
+// Trans. IT 1999), the paper's cross-check for the direct Yajnik method:
+// let Y_k = 1 when at least one receiver below node k got the packet and
+// γ_k = P(Y_k = 1). For an internal node k with children d_1..d_m, the
+// pass probability A_k = P(packet reaches k) solves
+//
+//      1 − γ_k / A_k = Π_j (1 − γ_{d_j} / A_k),
+//
+// which has a unique root in (max_j γ_{d_j}, 1]; we find it by bisection.
+// Per-link rates follow as 1 − A_k / A_parent(k).
+//
+// Identifiability caveat (inherent to the method, not our code): a chain
+// of single-child routers only determines the *product* of its link pass
+// probabilities. We attribute the composite loss uniformly across the
+// chain (geometric split) and flag those links in `identifiable`.
+#pragma once
+
+#include <vector>
+
+#include "trace/loss_trace.hpp"
+
+namespace cesrm::infer {
+
+struct MincEstimate {
+  /// Per-link loss-rate estimates indexed by LinkId; root slot unused.
+  std::vector<double> loss_rate;
+  /// False for links inside single-child chains whose individual rate is
+  /// not identifiable from leaf observations (the composite was split
+  /// geometrically).
+  std::vector<bool> identifiable;
+};
+
+MincEstimate estimate_links_minc(const trace::LossTrace& trace);
+
+}  // namespace cesrm::infer

@@ -1,0 +1,78 @@
+#include "lms/directory.hpp"
+
+#include "util/check.hpp"
+
+namespace cesrm::lms {
+
+LmsDirectory::LmsDirectory(sim::Simulator& sim,
+                           const net::MulticastTree& tree,
+                           sim::SimTime repair_delay)
+    : sim_(sim),
+      tree_(tree),
+      repair_delay_(repair_delay),
+      replier_(tree.size(), net::kInvalidNode),
+      failed_(tree.size(), false) {
+  for (net::NodeId v = 0; v < static_cast<net::NodeId>(tree_.size()); ++v)
+    if (!tree_.is_leaf(v)) replier_[static_cast<std::size_t>(v)] =
+        choose_replier(v);
+}
+
+net::NodeId LmsDirectory::choose_replier(net::NodeId router) const {
+  // The root router hands requests that climbed all the way up to the
+  // source itself (which, by definition, holds every packet).
+  if (tree_.is_root(router)) return tree_.root();
+  // Otherwise the lowest-id live receiver in the subtree (a deterministic
+  // stand-in for LMS's replier election).
+  for (net::NodeId r : tree_.subtree_receivers(router))
+    if (!failed_[static_cast<std::size_t>(r)]) return r;
+  return net::kInvalidNode;
+}
+
+net::NodeId LmsDirectory::designated_replier(net::NodeId router) const {
+  CESRM_CHECK(router >= 0 &&
+              static_cast<std::size_t>(router) < replier_.size());
+  CESRM_CHECK_MSG(!tree_.is_leaf(router), "leaves hold no replier state");
+  return replier_[static_cast<std::size_t>(router)];
+}
+
+std::optional<LmsDirectory::Route> LmsDirectory::route(net::NodeId requestor,
+                                                       int level) const {
+  CESRM_CHECK(level >= 0);
+  std::optional<Route> last;
+  int found = 0;
+  for (net::NodeId a = tree_.parent(requestor); a != net::kInvalidNode;
+       a = tree_.parent(a)) {
+    if (tree_.is_leaf(a)) continue;  // cannot happen in a tree, but safe
+    const net::NodeId replier = replier_[static_cast<std::size_t>(a)];
+    if (replier == net::kInvalidNode || replier == requestor) continue;
+    last = Route{a, replier};
+    if (found == level) return last;
+    ++found;
+  }
+  return last;  // saturate at the highest available route
+}
+
+void LmsDirectory::fail_member(net::NodeId member) {
+  CESRM_CHECK(member >= 0 &&
+              static_cast<std::size_t>(member) < failed_.size());
+  if (failed_[static_cast<std::size_t>(member)]) return;
+  failed_[static_cast<std::size_t>(member)] = true;
+  // The stale entries keep pointing at the dead member until the repair
+  // delay elapses — the §3.3 weakness of router-maintained replier state.
+  sim_.schedule_in(repair_delay_, [this, member] {
+    for (net::NodeId v = 0; v < static_cast<net::NodeId>(tree_.size());
+         ++v) {
+      if (tree_.is_leaf(v)) continue;
+      if (replier_[static_cast<std::size_t>(v)] == member) {
+        replier_[static_cast<std::size_t>(v)] = choose_replier(v);
+        ++redesignations_;
+      }
+    }
+  });
+}
+
+bool LmsDirectory::is_failed(net::NodeId member) const {
+  return failed_[static_cast<std::size_t>(member)];
+}
+
+}  // namespace cesrm::lms

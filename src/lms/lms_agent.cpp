@@ -1,0 +1,103 @@
+#include "lms/lms_agent.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace cesrm::lms {
+
+LmsAgent::LmsAgent(sim::Simulator& sim, net::Network& network,
+                   net::NodeId self, net::NodeId primary_source,
+                   const LmsConfig& config, LmsDirectory& directory,
+                   util::Rng rng)
+    : SrmAgent(sim, network, self, primary_source, config.srm, rng),
+      lms_config_(config),
+      directory_(directory) {}
+
+void LmsAgent::on_loss_detected(WantState& want) {
+  // LMS replaces SRM's suppression machinery entirely: disarm the SRM
+  // request timer and start the directed exchange.
+  want.request_timer->cancel();
+  const net::NodeId source = want.source;
+  const net::SeqNo seq = want.seq;
+  want.exp_timer = std::make_unique<sim::Timer>(
+      sim_, [this, source, seq] { retry_timer_fired(source, seq); });
+  escalation_[{source, seq}] = 0;
+  send_lms_request(source, seq);
+}
+
+void LmsAgent::send_lms_request(net::NodeId source, net::SeqNo seq) {
+  StreamState& s = stream(source);
+  const auto it = s.want.find(seq);
+  CESRM_CHECK(it != s.want.end());
+  WantState& want = *it->second;
+
+  const int level = escalation_[{source, seq}];
+  const auto route = directory_.route(node(), level);
+  if (route) {
+    net::RecoveryAnnotation ann;
+    ann.requestor = node();
+    ann.dist_requestor_source = distance_to(source);
+    ann.replier = route->replier;
+    ann.dist_replier_requestor = distance_to(route->replier);
+    ann.turning_point = route->router;
+    ++stats_.exp_requests_sent;
+    net_.unicast(node(), net::make_exp_request_packet(
+                             node(), route->replier, source, seq, ann));
+  }
+  // Retry with escalation whether or not a route existed: the directory
+  // may repair (re-designate) while we wait.
+  const double rtt =
+      route ? 2.0 * distance_to(route->replier) : 0.1;
+  sim::SimTime timeout = std::max(
+      lms_config_.retry_floor,
+      sim::SimTime::from_seconds(lms_config_.retry_rtt_multiple * rtt));
+  timeout = timeout * std::ldexp(1.0, std::min(level, 8));
+  want.exp_timer->arm(timeout);
+}
+
+void LmsAgent::on_packet_available(net::NodeId source, net::SeqNo seq) {
+  escalation_.erase({source, seq});
+}
+
+void LmsAgent::retry_timer_fired(net::NodeId source, net::SeqNo seq) {
+  if (failed()) return;
+  auto& level = escalation_[{source, seq}];
+  level = std::min(level + 1, 32);
+  send_lms_request(source, seq);
+}
+
+void LmsAgent::on_exp_request(const net::Packet& pkt) {
+  CESRM_CHECK(pkt.dest == node());
+  if (!originates(pkt.source)) note_new_sequence(pkt.source, pkt.seq);
+  if (!has_packet(pkt.source, pkt.seq))
+    return;  // shared loss: the requestor escalates after its timeout
+
+  ReplyState& rs = reply_state(pkt.source, pkt.seq);
+  if (sim_.now() < rs.abstinence_until)
+    return;  // a reply for this packet just went downstream
+
+  net::RecoveryAnnotation ann;
+  ann.requestor = pkt.ann.requestor;
+  ann.dist_requestor_source = pkt.ann.dist_requestor_source;
+  ann.replier = node();
+  ann.dist_replier_requestor = distance_to(pkt.ann.requestor);
+  ann.turning_point = pkt.ann.turning_point;
+
+  ++stats_.exp_replies_sent;
+  const net::Packet reply =
+      net::make_exp_reply_packet(node(), pkt.source, pkt.seq, ann);
+  // LMS always delivers via the turning-point router (unicast + subcast);
+  // the root router covers the whole tree, equivalent to multicast.
+  if (ann.turning_point != net::kInvalidNode &&
+      ann.turning_point != net_.tree().root()) {
+    net_.unicast_subcast(node(), ann.turning_point, reply);
+  } else {
+    net_.multicast(node(), reply);
+  }
+  rs.abstinence_until =
+      sim_.now() + sim::SimTime::from_seconds(
+                       config_.d3 * distance_to(pkt.ann.requestor));
+}
+
+}  // namespace cesrm::lms

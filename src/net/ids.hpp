@@ -1,0 +1,21 @@
+// ids.hpp — identifiers for topology entities and packet sequence numbers.
+#pragma once
+
+#include <cstdint>
+
+namespace cesrm::net {
+
+/// Index of a node (source, router, or receiver) in a MulticastTree.
+using NodeId = std::int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+/// A tree link is identified by its child endpoint: link `c` is the edge
+/// parent(c) → c. The root has no incoming link.
+using LinkId = std::int32_t;
+inline constexpr LinkId kInvalidLink = -1;
+
+/// Data packet sequence number within a single-source transmission.
+using SeqNo = std::int64_t;
+inline constexpr SeqNo kNoSeq = -1;
+
+}  // namespace cesrm::net

@@ -1,0 +1,136 @@
+// network.hpp — the simulated IP multicast network.
+//
+// The Network marries the MulticastTree topology to store-and-forward
+// links (propagation delay + serialization at a configured bandwidth with
+// per-direction FIFO queueing) and provides the three delivery primitives
+// the protocols need:
+//
+//  * multicast(from, pkt)  — shared-tree flooding: the packet spreads from
+//    the sender's attachment node over every tree edge (each node forwards
+//    to all neighbours except the one it arrived from), exactly like
+//    ns-2's dense-mode multicast over a fixed tree;
+//  * unicast(from, pkt)    — hop-by-hop along the unique tree path;
+//  * unicast_subcast(from, router, pkt) — router-assist (§3.3): unicast to
+//    the turning-point router, which subcasts downstream only.
+//
+// A pluggable DropFn decides per link crossing whether the packet is lost;
+// the experiment harness injects data-packet losses on exactly the links
+// named by the link trace representation, and (optionally) random losses
+// on recovery traffic. All link crossings are tallied per packet type and
+// per delivery primitive — the Figure-5 "1 unit per link crossing"
+// transmission-overhead metric falls directly out of these counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace cesrm::net {
+
+/// Protocol endpoint attached to a tree node (the source and receivers).
+class Agent {
+ public:
+  virtual ~Agent() = default;
+  /// Invoked at the packet's arrival time at this member's node.
+  virtual void on_packet(const Packet& pkt) = 0;
+};
+
+/// Per-direction link crossing decision: return true to drop the packet on
+/// the edge `from` → `to` (always a tree edge).
+using DropFn = std::function<bool(const Packet& pkt, NodeId from, NodeId to)>;
+
+struct NetworkConfig {
+  double link_bandwidth_bps = 1.5e6;       ///< 1.5 Mbps (§4.3)
+  sim::SimTime link_delay = sim::SimTime::millis(20);  ///< per-link, one-way
+  /// When false, serialization time is ignored (pure-delay links); the
+  /// default models the paper's 1 KB payloads on 1.5 Mbps links.
+  bool model_bandwidth = true;
+};
+
+/// Link-crossing counters, indexed by PacketType.
+struct CrossingStats {
+  std::array<std::uint64_t, kPacketTypeCount> multicast{};
+  std::array<std::uint64_t, kPacketTypeCount> unicast{};
+  std::array<std::uint64_t, kPacketTypeCount> subcast{};
+  std::array<std::uint64_t, kPacketTypeCount> dropped{};
+
+  std::uint64_t multicast_of(PacketType t) const {
+    return multicast[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t unicast_of(PacketType t) const {
+    return unicast[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t subcast_of(PacketType t) const {
+    return subcast[static_cast<std::size_t>(t)];
+  }
+  std::uint64_t total_of(PacketType t) const {
+    const auto i = static_cast<std::size_t>(t);
+    return multicast[i] + unicast[i] + subcast[i];
+  }
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& sim, const MulticastTree& tree,
+          NetworkConfig config);
+
+  const MulticastTree& tree() const { return tree_; }
+  const NetworkConfig& config() const { return config_; }
+
+  /// Attaches the protocol agent for member node `node` (must be the root
+  /// or a leaf). At most one agent per node.
+  void attach(NodeId node, Agent* agent);
+
+  /// Installs the per-crossing loss decision; nullptr = lossless.
+  void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
+
+  /// Floods `pkt` over the shared tree from `from`'s attachment point.
+  /// The sender does not receive its own packet.
+  void multicast(NodeId from, const Packet& pkt);
+
+  /// Sends `pkt` along the tree path from `from` to `pkt.dest`.
+  void unicast(NodeId from, const Packet& pkt);
+
+  /// Router-assisted delivery: unicast from `from` to `router`, then
+  /// subcast from `router` to its entire subtree (§3.3).
+  void unicast_subcast(NodeId from, NodeId router, const Packet& pkt);
+
+  /// One-way propagation delay along the tree path a → b (sums link
+  /// delays; excludes serialization). Used for oracle distances and for
+  /// RTT normalization in reports.
+  sim::SimTime path_delay(NodeId a, NodeId b) const;
+
+  const CrossingStats& crossings() const { return stats_; }
+  void reset_crossings() { stats_ = CrossingStats{}; }
+
+ private:
+  enum class Mode { kMulticast, kUnicast, kSubcast };
+
+  /// Schedules the hop `from` → `to`; on arrival delivers to the agent at
+  /// `to` (if any) and, in flood/subcast modes, keeps forwarding.
+  void send_hop(NodeId from, NodeId to, Packet pkt, Mode mode);
+  void arrive(NodeId at, NodeId came_from, const Packet& pkt, Mode mode);
+
+  /// Queueing link model: returns the arrival time of a packet handed to
+  /// the edge `from`→`to` now, advancing the edge's busy horizon.
+  sim::SimTime transmit(NodeId from, NodeId to, int size_bytes);
+
+  /// Per-direction busy horizon: index [child][0]=down (parent→child),
+  /// [child][1]=up.
+  sim::SimTime& busy_until(NodeId from, NodeId to);
+
+  sim::Simulator& sim_;
+  const MulticastTree& tree_;
+  NetworkConfig config_;
+  std::vector<Agent*> agents_;
+  std::vector<std::array<sim::SimTime, 2>> busy_;
+  DropFn drop_fn_;
+  CrossingStats stats_;
+};
+
+}  // namespace cesrm::net

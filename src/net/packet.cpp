@@ -1,0 +1,95 @@
+#include "net/packet.hpp"
+
+namespace cesrm::net {
+
+const char* packet_type_name(PacketType t) {
+  switch (t) {
+    case PacketType::kData: return "DATA";
+    case PacketType::kSession: return "SESSION";
+    case PacketType::kRequest: return "RQST";
+    case PacketType::kReply: return "REPL";
+    case PacketType::kExpRequest: return "ERQST";
+    case PacketType::kExpReply: return "EREPL";
+  }
+  return "?";
+}
+
+bool is_payload(PacketType t) {
+  return t == PacketType::kData || t == PacketType::kReply ||
+         t == PacketType::kExpReply;
+}
+
+int default_size_bytes(PacketType t) { return is_payload(t) ? 1024 : 0; }
+
+Packet make_data_packet(NodeId source, SeqNo seq) {
+  Packet p;
+  p.type = PacketType::kData;
+  p.source = source;
+  p.seq = seq;
+  p.sender = source;
+  p.size_bytes = default_size_bytes(p.type);
+  return p;
+}
+
+Packet make_session_packet(NodeId sender, NodeId source,
+                           std::shared_ptr<const SessionPayload> payload) {
+  Packet p;
+  p.type = PacketType::kSession;
+  p.source = source;
+  p.sender = sender;
+  p.size_bytes = default_size_bytes(p.type);
+  p.session = std::move(payload);
+  return p;
+}
+
+Packet make_request_packet(NodeId sender, NodeId source, SeqNo seq,
+                           double dist_requestor_source) {
+  Packet p;
+  p.type = PacketType::kRequest;
+  p.source = source;
+  p.seq = seq;
+  p.sender = sender;
+  p.size_bytes = default_size_bytes(p.type);
+  p.ann.requestor = sender;
+  p.ann.dist_requestor_source = dist_requestor_source;
+  return p;
+}
+
+Packet make_reply_packet(NodeId sender, NodeId source, SeqNo seq,
+                         const RecoveryAnnotation& ann) {
+  Packet p;
+  p.type = PacketType::kReply;
+  p.source = source;
+  p.seq = seq;
+  p.sender = sender;
+  p.size_bytes = default_size_bytes(p.type);
+  p.ann = ann;
+  return p;
+}
+
+Packet make_exp_request_packet(NodeId sender, NodeId dest, NodeId source,
+                               SeqNo seq, const RecoveryAnnotation& ann) {
+  Packet p;
+  p.type = PacketType::kExpRequest;
+  p.source = source;
+  p.seq = seq;
+  p.sender = sender;
+  p.dest = dest;
+  p.size_bytes = default_size_bytes(p.type);
+  p.ann = ann;
+  return p;
+}
+
+Packet make_exp_reply_packet(NodeId sender, NodeId source, SeqNo seq,
+                             const RecoveryAnnotation& ann) {
+  Packet p;
+  p.type = PacketType::kExpReply;
+  p.source = source;
+  p.seq = seq;
+  p.sender = sender;
+  p.size_bytes = default_size_bytes(p.type);
+  p.ann = ann;
+  return p;
+}
+
+}  // namespace cesrm::net

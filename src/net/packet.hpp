@@ -1,0 +1,111 @@
+// packet.hpp — the message vocabulary of SRM/CESRM.
+//
+// One Packet struct covers all six message kinds; the per-kind fields are
+// small enough that a variant would buy little. Session payloads can be
+// sizeable (one echo entry per group member), so they ride behind a
+// shared_ptr and flooding copies stay cheap.
+//
+// Request packets carry the CESRM annotation ⟨q, d̂qs⟩ and replies carry
+// ⟨q, d̂qs, r, d̂rq⟩ (§3.1). Plain SRM ignores the annotations; carrying
+// them unconditionally mirrors the paper's design where CESRM is a strict
+// extension of the SRM packet formats.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+namespace cesrm::net {
+
+enum class PacketType : std::uint8_t {
+  kData = 0,        ///< original payload packet from the source
+  kSession,         ///< periodic SRM session message
+  kRequest,         ///< multicast repair request (SRM recovery)
+  kReply,           ///< multicast repair reply / retransmission
+  kExpRequest,      ///< CESRM expedited request (unicast)
+  kExpReply,        ///< CESRM expedited reply (multicast or subcast)
+};
+inline constexpr int kPacketTypeCount = 6;
+
+const char* packet_type_name(PacketType t);
+
+/// True for payload-carrying kinds (1 KB in the paper's setup); control
+/// kinds are 0 KB.
+bool is_payload(PacketType t);
+
+/// Default sizes from §4.3: payload 1 KB, control 0 KB.
+int default_size_bytes(PacketType t);
+
+/// CESRM recovery annotation (§3.1). Distances are one-way latency
+/// estimates in seconds, as exchanged via session messages.
+struct RecoveryAnnotation {
+  NodeId requestor = kInvalidNode;
+  double dist_requestor_source = 0.0;  ///< d̂qs
+  NodeId replier = kInvalidNode;
+  double dist_replier_requestor = 0.0;  ///< d̂rq
+  /// Router-assist (§3.3): the turning-point router annotated onto the
+  /// reply by the routers; kInvalidNode without router assistance.
+  NodeId turning_point = kInvalidNode;
+
+  /// The paper's recovery-delay objective d̂qs + 2·d̂rq used to rank
+  /// requestor/replier pairs (§3.1).
+  double recovery_delay() const {
+    return dist_requestor_source + 2.0 * dist_replier_requestor;
+  }
+};
+
+/// One timing-echo entry of a session message: "I last heard session
+/// message stamped `peer_stamp` from `peer`, `hold` ago". The recipient
+/// `peer` closes the loop and estimates the one-way distance to the
+/// session sender.
+struct SessionEcho {
+  NodeId peer = kInvalidNode;
+  sim::SimTime peer_stamp;  ///< send timestamp of the echoed message
+  sim::SimTime hold;        ///< time it sat at the echoing host
+};
+
+/// Reception-state advertisement for one data stream: "the stream
+/// originated by `source` is known to extend at least to `highest_seq`".
+struct StreamAdvert {
+  NodeId source = kInvalidNode;
+  SeqNo highest_seq = kNoSeq;
+};
+
+/// Session message payload: per-stream reception state (for loss
+/// detection) plus the timing echoes (for distance estimation).
+struct SessionPayload {
+  sim::SimTime stamp;  ///< sender's transmission timestamp
+  std::vector<StreamAdvert> streams;
+  std::vector<SessionEcho> echoes;
+};
+
+struct Packet {
+  PacketType type = PacketType::kData;
+  NodeId source = kInvalidNode;  ///< source of the data stream referred to
+  SeqNo seq = kNoSeq;            ///< data sequence number referred to
+  NodeId sender = kInvalidNode;  ///< transmitting group member
+  NodeId dest = kInvalidNode;    ///< unicast destination; invalid = multicast
+  int size_bytes = 0;
+  RecoveryAnnotation ann;
+  std::shared_ptr<const SessionPayload> session;
+
+  bool is_unicast() const { return dest != kInvalidNode; }
+};
+
+/// Convenience constructors keeping call sites terse and uniform.
+Packet make_data_packet(NodeId source, SeqNo seq);
+Packet make_session_packet(NodeId sender, NodeId source,
+                           std::shared_ptr<const SessionPayload> payload);
+Packet make_request_packet(NodeId sender, NodeId source, SeqNo seq,
+                           double dist_requestor_source);
+Packet make_reply_packet(NodeId sender, NodeId source, SeqNo seq,
+                         const RecoveryAnnotation& ann);
+Packet make_exp_request_packet(NodeId sender, NodeId dest, NodeId source,
+                               SeqNo seq, const RecoveryAnnotation& ann);
+Packet make_exp_reply_packet(NodeId sender, NodeId source, SeqNo seq,
+                             const RecoveryAnnotation& ann);
+
+}  // namespace cesrm::net

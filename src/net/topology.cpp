@@ -1,0 +1,175 @@
+#include "net/topology.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cesrm::net {
+
+MulticastTree::MulticastTree(std::vector<NodeId> parents)
+    : parent_(std::move(parents)) {
+  const auto n = static_cast<NodeId>(parent_.size());
+  CESRM_CHECK_MSG(n >= 2, "a multicast tree needs a source and a receiver");
+
+  children_.resize(parent_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent_[v] == kInvalidNode) {
+      CESRM_CHECK_MSG(root_ == kInvalidNode, "multiple roots");
+      root_ = v;
+    } else {
+      CESRM_CHECK_MSG(parent_[v] >= 0 && parent_[v] < n && parent_[v] != v,
+                      "bad parent for node " << v);
+      children_[parent_[v]].push_back(v);
+    }
+  }
+  CESRM_CHECK_MSG(root_ != kInvalidNode, "no root");
+  validate();
+
+  depth_.assign(parent_.size(), -1);
+  depth_[static_cast<std::size_t>(root_)] = 0;
+  // Parents can have arbitrary ids, so compute depths by BFS.
+  std::vector<NodeId> frontier{root_};
+  while (!frontier.empty()) {
+    std::vector<NodeId> next;
+    for (NodeId v : frontier) {
+      for (NodeId c : children_[static_cast<std::size_t>(v)]) {
+        depth_[static_cast<std::size_t>(c)] =
+            depth_[static_cast<std::size_t>(v)] + 1;
+        next.push_back(c);
+      }
+    }
+    frontier = std::move(next);
+  }
+
+  neighbors_.resize(parent_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    if (parent_[v] != kInvalidNode) neighbors_[v].push_back(parent_[v]);
+    for (NodeId c : children_[v]) neighbors_[v].push_back(c);
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (children_[v].empty()) {
+      CESRM_CHECK_MSG(v != root_, "root cannot be a leaf");
+      leaves_.push_back(v);
+      max_depth_ = std::max(max_depth_, depth_[v]);
+    }
+    if (v != root_) links_.push_back(v);
+  }
+
+  subtree_receivers_.resize(parent_.size());
+  // Post-order accumulation of leaf sets.
+  std::function<void(NodeId)> gather = [&](NodeId v) {
+    if (children_[v].empty()) {
+      subtree_receivers_[v] = {v};
+      return;
+    }
+    for (NodeId c : children_[v]) {
+      gather(c);
+      auto& mine = subtree_receivers_[v];
+      mine.insert(mine.end(), subtree_receivers_[c].begin(),
+                  subtree_receivers_[c].end());
+    }
+    std::sort(subtree_receivers_[v].begin(), subtree_receivers_[v].end());
+  };
+  gather(root_);
+}
+
+void MulticastTree::validate() const {
+  // Every node must reach the root without cycles.
+  const auto n = static_cast<NodeId>(parent_.size());
+  for (NodeId v = 0; v < n; ++v) {
+    NodeId cur = v;
+    std::size_t steps = 0;
+    while (cur != root_) {
+      cur = parent_[static_cast<std::size_t>(cur)];
+      CESRM_CHECK_MSG(cur != kInvalidNode, "disconnected node " << v);
+      CESRM_CHECK_MSG(++steps <= parent_.size(), "cycle through node " << v);
+    }
+  }
+}
+
+NodeId MulticastTree::parent(NodeId v) const {
+  CESRM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < parent_.size());
+  return parent_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<NodeId>& MulticastTree::children(NodeId v) const {
+  CESRM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < children_.size());
+  return children_[static_cast<std::size_t>(v)];
+}
+
+int MulticastTree::depth(NodeId v) const {
+  CESRM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < depth_.size());
+  return depth_[static_cast<std::size_t>(v)];
+}
+
+const std::vector<NodeId>& MulticastTree::subtree_receivers(NodeId v) const {
+  CESRM_DCHECK(v >= 0 &&
+               static_cast<std::size_t>(v) < subtree_receivers_.size());
+  return subtree_receivers_[static_cast<std::size_t>(v)];
+}
+
+bool MulticastTree::is_ancestor(NodeId ancestor, NodeId v) const {
+  NodeId cur = v;
+  while (cur != kInvalidNode) {
+    if (cur == ancestor) return true;
+    cur = parent_[static_cast<std::size_t>(cur)];
+  }
+  return false;
+}
+
+NodeId MulticastTree::lca(NodeId a, NodeId b) const {
+  // Trees here are tiny (≤ ~40 nodes); walk up by depth.
+  while (a != b) {
+    if (depth(a) >= depth(b))
+      a = parent(a);
+    else
+      b = parent(b);
+    CESRM_CHECK(a != kInvalidNode && b != kInvalidNode);
+  }
+  return a;
+}
+
+std::vector<NodeId> MulticastTree::path(NodeId a, NodeId b) const {
+  const NodeId meet = lca(a, b);
+  std::vector<NodeId> up;
+  for (NodeId v = a; v != meet; v = parent(v)) up.push_back(v);
+  up.push_back(meet);
+  std::vector<NodeId> down;
+  for (NodeId v = b; v != meet; v = parent(v)) down.push_back(v);
+  up.insert(up.end(), down.rbegin(), down.rend());
+  return up;
+}
+
+int MulticastTree::hop_distance(NodeId a, NodeId b) const {
+  const NodeId meet = lca(a, b);
+  return depth(a) + depth(b) - 2 * depth(meet);
+}
+
+const std::vector<NodeId>& MulticastTree::neighbors(NodeId v) const {
+  CESRM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < neighbors_.size());
+  return neighbors_[static_cast<std::size_t>(v)];
+}
+
+std::string MulticastTree::to_string() const {
+  std::ostringstream os;
+  std::function<void(NodeId)> render = [&](NodeId v) {
+    os << v;
+    if (!children_[static_cast<std::size_t>(v)].empty()) {
+      os << '(';
+      bool first = true;
+      for (NodeId c : children_[static_cast<std::size_t>(v)]) {
+        if (!first) os << ' ';
+        first = false;
+        render(c);
+      }
+      os << ')';
+    }
+  };
+  render(root_);
+  return os.str();
+}
+
+}  // namespace cesrm::net

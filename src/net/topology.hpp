@@ -1,0 +1,80 @@
+// topology.hpp — the IP multicast tree T = ⟨N, s, L⟩ of the paper (§4.1).
+//
+// Nodes are dense integers 0..size()-1. The root is the transmission
+// source; internal nodes are multicast-capable routers; leaves are the
+// receivers. Links are identified by their child endpoint. The tree is
+// immutable after construction, so all derived structure (children lists,
+// depths, leaf sets per subtree) is precomputed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/ids.hpp"
+
+namespace cesrm::net {
+
+class MulticastTree {
+ public:
+  /// Builds a tree from a parent vector: parent[root] == kInvalidNode and
+  /// parent[v] < size() for all others. Validates acyclicity/connectivity.
+  explicit MulticastTree(std::vector<NodeId> parents);
+
+  NodeId root() const { return root_; }
+  std::size_t size() const { return parent_.size(); }
+  /// Number of links (= size() - 1).
+  std::size_t link_count() const { return size() - 1; }
+
+  NodeId parent(NodeId v) const;
+  const std::vector<NodeId>& children(NodeId v) const;
+  bool is_leaf(NodeId v) const { return children(v).empty(); }
+  bool is_root(NodeId v) const { return v == root_; }
+
+  /// Depth of v (root has depth 0).
+  int depth(NodeId v) const;
+  /// Maximum leaf depth — the paper's "tree depth" column in Table 1.
+  int max_depth() const { return max_depth_; }
+
+  /// Receivers = leaves, ordered by node id.
+  const std::vector<NodeId>& receivers() const { return leaves_; }
+
+  /// All links, ordered by child id.
+  const std::vector<LinkId>& links() const { return links_; }
+
+  /// Receivers in the subtree rooted at `v` (inclusive if v is a leaf).
+  const std::vector<NodeId>& subtree_receivers(NodeId v) const;
+
+  /// True if `ancestor` lies on the path root → v (inclusive).
+  bool is_ancestor(NodeId ancestor, NodeId v) const;
+
+  /// Lowest common ancestor.
+  NodeId lca(NodeId a, NodeId b) const;
+
+  /// Node sequence a → b along tree edges (inclusive of both endpoints).
+  std::vector<NodeId> path(NodeId a, NodeId b) const;
+
+  /// Number of edges on the path a → b.
+  int hop_distance(NodeId a, NodeId b) const;
+
+  /// Tree neighbours (parent + children) of v.
+  const std::vector<NodeId>& neighbors(NodeId v) const;
+
+  /// Human-readable single-line rendering, e.g. "0(1(3 4) 2(5))".
+  std::string to_string() const;
+
+ private:
+  void validate() const;
+
+  std::vector<NodeId> parent_;
+  std::vector<std::vector<NodeId>> children_;
+  std::vector<std::vector<NodeId>> neighbors_;
+  std::vector<int> depth_;
+  std::vector<NodeId> leaves_;
+  std::vector<LinkId> links_;
+  std::vector<std::vector<NodeId>> subtree_receivers_;
+  NodeId root_ = kInvalidNode;
+  int max_depth_ = 0;
+};
+
+}  // namespace cesrm::net

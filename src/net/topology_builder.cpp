@@ -1,0 +1,212 @@
+#include "net/topology_builder.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace cesrm::net {
+
+namespace {
+
+/// Intermediate node record used during generation, before renumbering.
+struct ProtoNode {
+  int parent = -1;  // index into proto vector
+  int depth = 0;
+  bool leaf = false;
+  int child_count = 0;
+};
+
+}  // namespace
+
+MulticastTree build_random_tree(const TreeShape& shape, util::Rng& rng) {
+  CESRM_CHECK_MSG(shape.receivers >= 1, "need at least one receiver");
+  CESRM_CHECK_MSG(shape.depth >= 1, "need depth >= 1");
+  CESRM_CHECK_MSG(shape.max_branching >= 2, "need max_branching >= 2");
+
+  std::vector<ProtoNode> nodes;
+  nodes.push_back(ProtoNode{});  // root, depth 0
+
+  // 1. Spine of internal routers guaranteeing that depth is attainable:
+  //    internal nodes at depths 1..depth-1.
+  int spine_tip = 0;
+  for (int d = 1; d < shape.depth; ++d) {
+    ProtoNode n;
+    n.parent = spine_tip;
+    n.depth = d;
+    nodes.push_back(n);
+    ++nodes[static_cast<std::size_t>(spine_tip)].child_count;
+    spine_tip = static_cast<int>(nodes.size()) - 1;
+  }
+
+  // 2. Extra internal routers for bushiness. Each extra router must end up
+  //    with at least one leaf below it, so cap extras by the leaf budget.
+  const int extra_budget = std::max(0, shape.receivers - 2);
+  const int extras =
+      extra_budget == 0
+          ? 0
+          : static_cast<int>(rng.uniform_int(0, std::min(extra_budget,
+                                                         shape.receivers)));
+  for (int e = 0; e < extras; ++e) {
+    // Candidates: internal nodes at depth <= depth-2 with spare fanout.
+    std::vector<int> candidates;
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+      const auto& n = nodes[static_cast<std::size_t>(i)];
+      if (!n.leaf && n.depth <= shape.depth - 2 &&
+          n.child_count < shape.max_branching)
+        candidates.push_back(i);
+    }
+    if (candidates.empty()) break;
+    const int p = candidates[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    ProtoNode n;
+    n.parent = p;
+    n.depth = nodes[static_cast<std::size_t>(p)].depth + 1;
+    nodes.push_back(n);
+    ++nodes[static_cast<std::size_t>(p)].child_count;
+  }
+
+  int leaves_left = shape.receivers;
+  auto add_leaf = [&](int parent) {
+    ProtoNode n;
+    n.parent = parent;
+    n.depth = nodes[static_cast<std::size_t>(parent)].depth + 1;
+    n.leaf = true;
+    nodes.push_back(n);
+    ++nodes[static_cast<std::size_t>(parent)].child_count;
+    --leaves_left;
+  };
+
+  // 3. Mandatory leaf at the spine tip attains the exact maximum depth.
+  add_leaf(spine_tip);
+
+  // 4. Every childless internal router gets one leaf (routers exist only
+  //    to route toward receivers).
+  for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+    if (leaves_left == 0) break;
+    const auto& n = nodes[static_cast<std::size_t>(i)];
+    if (!n.leaf && n.child_count == 0) add_leaf(i);
+  }
+  // If budget ran out with childless internals left (possible only in
+  // pathological shapes), prune them by converting to leaves is wrong —
+  // instead re-check and fail loudly; extras were capped to avoid this.
+  for (const auto& n : nodes)
+    CESRM_CHECK_MSG(n.leaf || n.child_count > 0,
+                    "internal router left childless during generation");
+
+  // 5. Spread the remaining leaves over random internal routers, favoring
+  //    those with spare fanout.
+  while (leaves_left > 0) {
+    std::vector<int> candidates;
+    for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+      const auto& n = nodes[static_cast<std::size_t>(i)];
+      if (!n.leaf && n.depth <= shape.depth - 1 &&
+          n.child_count < shape.max_branching)
+        candidates.push_back(i);
+    }
+    if (candidates.empty()) {
+      // Fanout caps all saturated: relax the cap rather than fail.
+      for (int i = 0; i < static_cast<int>(nodes.size()); ++i) {
+        const auto& n = nodes[static_cast<std::size_t>(i)];
+        if (!n.leaf && n.depth <= shape.depth - 1) candidates.push_back(i);
+      }
+    }
+    CESRM_CHECK(!candidates.empty());
+    const int p = candidates[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(candidates.size()) - 1))];
+    add_leaf(p);
+  }
+
+  // 6. Renumber: internal routers get ids 0..I-1 in creation order (root
+  //    first), leaves get ids I..I+R-1.
+  std::vector<int> new_id(nodes.size(), -1);
+  NodeId next = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (!nodes[i].leaf) new_id[i] = next++;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (nodes[i].leaf) new_id[i] = next++;
+
+  std::vector<NodeId> parents(nodes.size(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].parent >= 0)
+      parents[static_cast<std::size_t>(new_id[i])] =
+          new_id[static_cast<std::size_t>(nodes[i].parent)];
+  }
+  MulticastTree tree(std::move(parents));
+  CESRM_CHECK(static_cast<int>(tree.receivers().size()) == shape.receivers);
+  CESRM_CHECK(tree.max_depth() == shape.depth);
+  return tree;
+}
+
+namespace {
+
+class TreeParser {
+ public:
+  explicit TreeParser(const std::string& text) : text_(text) {}
+
+  MulticastTree parse() {
+    skip_ws();
+    std::map<NodeId, NodeId> parent_of;  // node -> parent
+    parse_node(kInvalidNode, parent_of);
+    skip_ws();
+    CESRM_CHECK_MSG(pos_ == text_.size(), "trailing input in tree text");
+    CESRM_CHECK_MSG(!parent_of.empty(), "empty tree text");
+    // Ids must be dense 0..n-1.
+    const auto n = static_cast<NodeId>(parent_of.size());
+    std::vector<NodeId> parents(parent_of.size(), kInvalidNode);
+    for (const auto& [node, parent] : parent_of) {
+      CESRM_CHECK_MSG(node >= 0 && node < n, "node ids must be dense 0..n-1");
+      parents[static_cast<std::size_t>(node)] = parent;
+    }
+    return MulticastTree(std::move(parents));
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+
+  NodeId parse_id() {
+    skip_ws();
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+    CESRM_CHECK_MSG(pos_ > start, "expected node id at offset " << start);
+    return static_cast<NodeId>(std::stoi(text_.substr(start, pos_ - start)));
+  }
+
+  void parse_node(NodeId parent, std::map<NodeId, NodeId>& parent_of) {
+    const NodeId id = parse_id();
+    CESRM_CHECK_MSG(parent_of.emplace(id, parent).second,
+                    "duplicate node id " << id);
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '(') {
+      ++pos_;  // consume '('
+      while (true) {
+        skip_ws();
+        CESRM_CHECK_MSG(pos_ < text_.size(), "unterminated subtree");
+        if (text_[pos_] == ')') {
+          ++pos_;
+          break;
+        }
+        parse_node(id, parent_of);
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+MulticastTree parse_tree(const std::string& text) {
+  return TreeParser(text).parse();
+}
+
+}  // namespace cesrm::net

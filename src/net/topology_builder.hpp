@@ -1,0 +1,36 @@
+// topology_builder.hpp — construction of multicast trees.
+//
+// Two sources of trees: (a) deterministic random generation matching the
+// published shape of a Yajnik et al. trace (receiver count and tree depth
+// from Table 1), and (b) a parse/serialize round trip in the same nested
+// "0(1(3 4) 2)" format topology.cpp renders, so experiments can pin exact
+// topologies in text files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "net/topology.hpp"
+#include "util/rng.hpp"
+
+namespace cesrm::net {
+
+/// Shape constraints for random tree generation.
+struct TreeShape {
+  int receivers = 8;      ///< number of leaves (≥ 1)
+  int depth = 4;          ///< maximum leaf depth (≥ 1), attained by ≥1 leaf
+  int max_branching = 4;  ///< cap on children per internal node (best effort)
+};
+
+/// Generates a random tree with exactly `shape.receivers` leaves and
+/// maximum leaf depth exactly `shape.depth`. Node 0 is the source; leaves
+/// are assigned the highest ids (matching the convention that receivers
+/// are listed after routers). Deterministic in `rng`.
+MulticastTree build_random_tree(const TreeShape& shape, util::Rng& rng);
+
+/// Parses the nested format produced by MulticastTree::to_string(), e.g.
+/// "0(1(3 4) 2(5 6))". Node ids must be dense 0..n-1. Throws
+/// util::CheckError on malformed input.
+MulticastTree parse_tree(const std::string& text);
+
+}  // namespace cesrm::net

@@ -1,0 +1,75 @@
+// event_queue.hpp — the simulator's pending-event set.
+//
+// A binary min-heap ordered by (time, insertion sequence) so that events
+// scheduled for the same tick fire in FIFO order — a property the SRM
+// suppression logic relies on for determinism. Cancellation is lazy: the
+// heap entry of a cancelled event stays in place and is skipped at pop
+// time; the authoritative liveness record is the `pending_` id set. This
+// keeps cancel() O(1), which matters because SRM suppression cancels a
+// large fraction of all scheduled timers.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cesrm::sim {
+
+/// Identifier for a scheduled event; valid ids are non-zero.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEventId = 0;
+
+/// Min-heap of (time, callback) with O(1) lazy cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `when`; returns its id.
+  EventId schedule(SimTime when, Callback cb);
+
+  /// Cancels a pending event. Returns true if it was still pending;
+  /// cancelling an already-fired or unknown id returns false.
+  bool cancel(EventId id);
+
+  /// True while `id` is scheduled and has neither fired nor been cancelled.
+  bool is_pending(EventId id) const { return pending_.count(id) != 0; }
+
+  /// True if no live (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+  /// Number of live pending events.
+  std::size_t size() const { return pending_.size(); }
+
+  /// Time of the earliest live event; infinity() when empty.
+  SimTime next_time();
+
+  /// Pops the earliest live event; fills `when`/`cb`/`id`. Returns false
+  /// when the queue is empty.
+  bool pop(SimTime& when, Callback& cb, EventId& id);
+
+  /// Total events ever scheduled (diagnostics / micro-benchmarks).
+  std::uint64_t scheduled_total() const { return next_id_ - 1; }
+
+ private:
+  struct Entry {
+    SimTime when;
+    EventId id;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.id > b.id;  // FIFO among equal times
+    }
+  };
+
+  void drop_stale_top();
+
+  std::vector<Entry> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace cesrm::sim

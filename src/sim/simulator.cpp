@@ -1,0 +1,46 @@
+#include "sim/simulator.hpp"
+
+#include "util/check.hpp"
+
+namespace cesrm::sim {
+
+EventId Simulator::schedule_in(SimTime delay, EventQueue::Callback cb) {
+  if (delay.is_negative()) delay = SimTime::zero();
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::schedule_at(SimTime when, EventQueue::Callback cb) {
+  CESRM_CHECK_MSG(when >= now_, "scheduling into the past: when=" << when
+                                 << " now=" << now_);
+  return queue_.schedule(when, std::move(cb));
+}
+
+bool Simulator::step() {
+  SimTime when;
+  EventQueue::Callback cb;
+  EventId id;
+  if (!queue_.pop(when, cb, id)) return false;
+  CESRM_CHECK(when >= now_);
+  now_ = when;
+  ++executed_;
+  cb();
+  return true;
+}
+
+void Simulator::run() {
+  stopped_ = false;
+  while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime until) {
+  stopped_ = false;
+  while (!stopped_) {
+    const SimTime next = queue_.next_time();
+    if (next > until) break;
+    step();
+  }
+  if (now_ < until) now_ = until;
+}
+
+}  // namespace cesrm::sim

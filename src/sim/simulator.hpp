@@ -1,0 +1,63 @@
+// simulator.hpp — single-threaded discrete-event simulation driver.
+//
+// The Simulator owns the virtual clock and the event queue. All model
+// components (links, protocol agents, traffic sources) schedule closures;
+// the driver pops them in (time, FIFO) order and advances the clock. This
+// is the same execution model as ns-2, which the paper used, minus the
+// Tcl layer.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.hpp"
+#include "sim/time.hpp"
+
+namespace cesrm::sim {
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time. Monotonically non-decreasing.
+  SimTime now() const { return now_; }
+
+  /// Schedules `cb` at `now() + delay`; negative delays are clamped to now
+  /// (a zero-delay event still runs after the current event completes).
+  EventId schedule_in(SimTime delay, EventQueue::Callback cb);
+
+  /// Schedules `cb` at absolute time `when`; `when` must be >= now().
+  EventId schedule_at(SimTime when, EventQueue::Callback cb);
+
+  /// Cancels a pending event; returns true if it had not yet fired.
+  bool cancel(EventId id) { return queue_.cancel(id); }
+  bool is_pending(EventId id) const { return queue_.is_pending(id); }
+
+  /// Runs a single event. Returns false when the queue is empty.
+  bool step();
+
+  /// Runs until the queue empties (or stop() is called).
+  void run();
+
+  /// Runs events with time <= `until`, then sets the clock to `until`
+  /// (if the simulation did not already pass it). Pending later events stay
+  /// queued.
+  void run_until(SimTime until);
+
+  /// Makes run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far.
+  std::uint64_t events_executed() const { return executed_; }
+  /// Number of events currently pending.
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = SimTime::zero();
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace cesrm::sim

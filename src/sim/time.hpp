@@ -1,0 +1,87 @@
+// time.hpp — simulated time.
+//
+// Simulated time is an integer count of nanoseconds wrapped in a strong
+// type. Integer ticks (rather than ns-2's doubles) make event ordering and
+// replay exact: two runs with the same seed produce identical schedules.
+// The same type serves as both a point in time and a duration; the protocol
+// layers mostly manipulate durations scaled by dimensionless parameters
+// (C1, D1, ...), which `operator*(double)` supports with round-to-nearest.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace cesrm::sim {
+
+/// A point in simulated time or a duration, in integer nanoseconds.
+class SimTime {
+ public:
+  constexpr SimTime() = default;
+
+  static constexpr SimTime nanos(std::int64_t ns) { return SimTime(ns); }
+  static constexpr SimTime micros(std::int64_t us) { return SimTime(us * 1000); }
+  static constexpr SimTime millis(std::int64_t ms) {
+    return SimTime(ms * 1000000);
+  }
+  static constexpr SimTime seconds(std::int64_t s) {
+    return SimTime(s * 1000000000);
+  }
+  /// From floating-point seconds, rounded to the nearest tick.
+  static SimTime from_seconds(double s) {
+    return SimTime(static_cast<std::int64_t>(std::llround(s * 1e9)));
+  }
+  static constexpr SimTime zero() { return SimTime(0); }
+  /// Largest representable time; used as "never".
+  static constexpr SimTime infinity() {
+    return SimTime(INT64_MAX);
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) / 1e9; }
+  constexpr double to_millis() const { return static_cast<double>(ns_) / 1e6; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_negative() const { return ns_ < 0; }
+
+  friend constexpr SimTime operator+(SimTime a, SimTime b) {
+    return SimTime(a.ns_ + b.ns_);
+  }
+  friend constexpr SimTime operator-(SimTime a, SimTime b) {
+    return SimTime(a.ns_ - b.ns_);
+  }
+  SimTime& operator+=(SimTime o) {
+    ns_ += o.ns_;
+    return *this;
+  }
+  SimTime& operator-=(SimTime o) {
+    ns_ -= o.ns_;
+    return *this;
+  }
+  /// Duration scaling, round-to-nearest tick.
+  friend SimTime operator*(SimTime a, double k) {
+    return SimTime(static_cast<std::int64_t>(
+        std::llround(static_cast<double>(a.ns_) * k)));
+  }
+  friend SimTime operator*(double k, SimTime a) { return a * k; }
+  friend constexpr SimTime operator*(SimTime a, std::int64_t k) {
+    return SimTime(a.ns_ * k);
+  }
+  /// Ratio of two durations.
+  friend constexpr double operator/(SimTime a, SimTime b) {
+    return static_cast<double>(a.ns_) / static_cast<double>(b.ns_);
+  }
+
+  friend constexpr auto operator<=>(SimTime a, SimTime b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, SimTime t) {
+    return os << t.to_seconds() << "s";
+  }
+
+ private:
+  constexpr explicit SimTime(std::int64_t ns) : ns_(ns) {}
+  std::int64_t ns_ = 0;
+};
+
+}  // namespace cesrm::sim

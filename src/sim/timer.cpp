@@ -1,0 +1,26 @@
+#include "sim/timer.hpp"
+
+namespace cesrm::sim {
+
+void Timer::arm(SimTime delay) { arm_at(sim_->now() + delay); }
+
+void Timer::arm_at(SimTime when) {
+  cancel();
+  expiry_ = when;
+  id_ = sim_->schedule_at(when, [this] { fire(); });
+}
+
+void Timer::cancel() {
+  if (id_ != kInvalidEventId) {
+    sim_->cancel(id_);
+    id_ = kInvalidEventId;
+  }
+}
+
+void Timer::fire() {
+  // Mark idle before invoking the callback so the callback may re-arm.
+  id_ = kInvalidEventId;
+  on_expire_();
+}
+
+}  // namespace cesrm::sim

@@ -1,0 +1,56 @@
+// timer.hpp — a cancellable, reschedulable one-shot timer.
+//
+// SRM's recovery state machines juggle several timers per lost packet
+// (request timeout, back-off abstinence, reply timeout, reply abstinence),
+// each of which may be rescheduled or cancelled many times. Timer wraps
+// the raw EventId plumbing: at most one pending expiry at a time, safe to
+// reschedule from within its own callback, and destruction cancels any
+// pending expiry so agents can be torn down mid-simulation.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulator.hpp"
+
+namespace cesrm::sim {
+
+class Timer {
+ public:
+  using Callback = std::function<void()>;
+
+  /// `sim` must outlive the timer. The callback is fixed at construction;
+  /// what varies per arm() is only the expiry time.
+  Timer(Simulator& sim, Callback on_expire)
+      : sim_(&sim), on_expire_(std::move(on_expire)) {}
+
+  ~Timer() { cancel(); }
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arms (or re-arms) the timer to fire `delay` from now. Any previously
+  /// pending expiry is cancelled first.
+  void arm(SimTime delay);
+
+  /// Arms to fire at absolute time `when` (>= now).
+  void arm_at(SimTime when);
+
+  /// Cancels a pending expiry; no-op when idle.
+  void cancel();
+
+  /// True while an expiry is pending.
+  bool armed() const { return id_ != kInvalidEventId && sim_->is_pending(id_); }
+
+  /// Absolute expiry time of the pending arm; infinity() when idle.
+  SimTime expiry() const { return armed() ? expiry_ : SimTime::infinity(); }
+
+ private:
+  void fire();
+
+  Simulator* sim_;
+  Callback on_expire_;
+  EventId id_ = kInvalidEventId;
+  SimTime expiry_ = SimTime::infinity();
+};
+
+}  // namespace cesrm::sim

@@ -1,0 +1,456 @@
+#include "srm/srm_agent.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace cesrm::srm {
+
+SrmAgent::SrmAgent(sim::Simulator& sim, net::Network& network,
+                   net::NodeId self, net::NodeId primary_source,
+                   const SrmConfig& config, util::Rng rng)
+    : sim_(sim),
+      net_(network),
+      self_(self),
+      primary_source_(primary_source),
+      config_(config),
+      rng_(rng),
+      dist_(self) {
+  if (config_.adaptive_timers) {
+    req_ctrl_ = std::make_unique<AdaptiveController>(config_.c1, config_.c2);
+    AdaptiveTuning reply_tuning;
+    // Reply duplicates are observed per reply event ("was this reply a
+    // duplicate of a pending one?"), so the target is a fraction.
+    reply_tuning.dup_target = 0.25;
+    rep_ctrl_ = std::make_unique<AdaptiveController>(config_.d1, config_.d2,
+                                                     reply_tuning);
+  }
+  net_.attach(self_, this);
+  // Seed the primary stream so losses of its very first packets are
+  // detectable (every member knows the transmission exists before it
+  // starts — the paper's warm-up assumption).
+  stream(primary_source_);
+}
+
+SrmAgent::~SrmAgent() = default;
+
+void SrmAgent::start_session(sim::SimTime offset) {
+  if (failed_) return;
+  if (!session_timer_) {
+    session_timer_ =
+        std::make_unique<sim::Timer>(sim_, [this] { session_timer_fired(); });
+  }
+  session_timer_->arm(offset);
+}
+
+void SrmAgent::stop_session() {
+  if (session_timer_) session_timer_->cancel();
+}
+
+void SrmAgent::fail() {
+  failed_ = true;
+  stop_session();
+  // Timers owned by stream state check failed_ on expiry; leave the state
+  // intact so post-mortem statistics remain readable.
+}
+
+void SrmAgent::send_data(net::SeqNo seq) {
+  CESRM_CHECK_MSG(!failed_, "failed member cannot transmit");
+  StreamState& s = stream(self_);
+  CESRM_CHECK_MSG(seq == s.last_sent + 1, "data sequence must be consecutive");
+  s.last_sent = seq;
+  s.highest_seq = std::max(s.highest_seq, seq);
+  ++stats_.data_sent;
+  net_.multicast(self_, net::make_data_packet(self_, seq));
+}
+
+SrmAgent::StreamState& SrmAgent::stream(net::NodeId source) {
+  auto it = streams_.find(source);
+  if (it == streams_.end()) {
+    StreamState s;
+    s.source = source;
+    it = streams_.emplace(source, std::move(s)).first;
+  }
+  return it->second;
+}
+
+const SrmAgent::StreamState* SrmAgent::find_stream(net::NodeId source) const {
+  const auto it = streams_.find(source);
+  return it == streams_.end() ? nullptr : &it->second;
+}
+
+bool SrmAgent::has_packet(net::NodeId source, net::SeqNo seq) const {
+  if (seq < 0) return false;
+  const StreamState* s = find_stream(source);
+  if (s == nullptr) return false;
+  if (originates(source)) return seq <= s->last_sent;
+  return static_cast<std::size_t>(seq) < s->received.size() &&
+         s->received[static_cast<std::size_t>(seq)];
+}
+
+net::SeqNo SrmAgent::highest_seq(net::NodeId source) const {
+  const StreamState* s = find_stream(source);
+  return s ? s->highest_seq : net::kNoSeq;
+}
+
+std::vector<net::NodeId> SrmAgent::known_streams() const {
+  std::vector<net::NodeId> out;
+  for (const auto& [source, s] : streams_) out.push_back(source);
+  return out;
+}
+
+double SrmAgent::distance_to(net::NodeId peer) const {
+  const double truth = net_.path_delay(self_, peer).to_seconds();
+  if (config_.oracle_distances) return truth;
+  // Until the first session echo closes the loop, fall back to the true
+  // delay — the paper's warm-up guarantees estimates exist before data
+  // flows, so the fallback only matters for hosts probed very early.
+  return dist_.distance(peer, truth);
+}
+
+std::size_t SrmAgent::outstanding_losses() const {
+  std::size_t n = 0;
+  for (const auto& [source, s] : streams_) n += s.want.size();
+  return n;
+}
+
+void SrmAgent::finalize_stats() {
+  for (auto& [source, s] : streams_) {
+    for (const auto& [seq, want] : s.want) {
+      RecoveryRecord rec;
+      rec.source = source;
+      rec.seq = seq;
+      rec.detect_time = want->detect_time;
+      rec.recover_time = sim::SimTime::infinity();
+      rec.recovered = false;
+      rec.rounds = want->backoff;
+      stats_.recoveries.push_back(rec);
+    }
+    s.want.clear();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Packet dispatch
+// ---------------------------------------------------------------------------
+
+void SrmAgent::on_packet(const net::Packet& pkt) {
+  if (failed_) return;  // crash-stop: the member is deaf
+  switch (pkt.type) {
+    case net::PacketType::kData:
+      if (!originates(pkt.source)) {
+        mark_received(pkt);
+        note_new_sequence(pkt.source, pkt.seq);
+      }
+      break;
+    case net::PacketType::kSession: {
+      CESRM_CHECK(pkt.session != nullptr);
+      dist_.on_session(pkt.sender, *pkt.session, sim_.now());
+      for (const auto& advert : pkt.session->streams) {
+        if (originates(advert.source) || advert.highest_seq < 0) continue;
+        note_new_sequence(advert.source, advert.highest_seq);
+      }
+      break;
+    }
+    case net::PacketType::kRequest:
+      handle_request(pkt);
+      break;
+    case net::PacketType::kReply:
+    case net::PacketType::kExpReply:
+      on_reply_observed(pkt);
+      handle_reply(pkt);
+      break;
+    case net::PacketType::kExpRequest:
+      on_exp_request(pkt);
+      break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Loss detection
+// ---------------------------------------------------------------------------
+
+void SrmAgent::note_new_sequence(net::NodeId source, net::SeqNo seq) {
+  if (originates(source)) return;
+  StreamState& s = stream(source);
+  // Everything up to `seq` exists; any packet in (highest_seq, seq] we do
+  // not hold is a fresh loss.
+  for (net::SeqNo j = s.highest_seq + 1; j <= seq; ++j)
+    if (!has_packet(source, j)) detect_loss(source, j, /*suppressed=*/false);
+  s.highest_seq = std::max(s.highest_seq, seq);
+}
+
+SrmAgent::WantState* SrmAgent::detect_loss(net::NodeId source,
+                                           net::SeqNo seq, bool suppressed) {
+  if (originates(source) || has_packet(source, seq)) return nullptr;
+  StreamState& s = stream(source);
+  if (auto it = s.want.find(seq); it != s.want.end()) return it->second.get();
+
+  auto state = std::make_unique<WantState>();
+  WantState* want = state.get();
+  want->source = source;
+  want->seq = seq;
+  want->detect_time = sim_.now();
+  want->request_timer = std::make_unique<sim::Timer>(
+      sim_, [this, source, seq] { request_timer_fired(source, seq); });
+  ++stats_.losses_detected;
+
+  if (suppressed) {
+    // Detected by hearing another host's request: our own request starts
+    // already backed off to round 1, and the back-off abstinence period
+    // for that round begins.
+    want->backoff = 1;
+    want->request_timer->arm(draw_request_delay(source, want->backoff));
+    want->abstinence_until =
+        sim_.now() + sim::SimTime::from_seconds(
+                         std::ldexp(config_.c3 * distance_to(source),
+                                    want->backoff));
+  } else {
+    want->backoff = 0;
+    want->request_timer->arm(draw_request_delay(source, 0));
+  }
+  s.want.emplace(seq, std::move(state));
+  on_loss_detected(*want);
+  return want;
+}
+
+void SrmAgent::mark_received(const net::Packet& via) {
+  CESRM_CHECK(!originates(via.source));
+  const net::SeqNo seq = via.seq;
+  if (seq < 0) return;
+  StreamState& s = stream(via.source);
+  if (static_cast<std::size_t>(seq) >= s.received.size())
+    s.received.resize(static_cast<std::size_t>(seq) + 1, false);
+  if (s.received[static_cast<std::size_t>(seq)]) {
+    if (via.type == net::PacketType::kReply ||
+        via.type == net::PacketType::kExpReply)
+      ++stats_.duplicate_replies_received;
+    return;
+  }
+  s.received[static_cast<std::size_t>(seq)] = true;
+
+  if (auto it = s.want.find(seq); it != s.want.end()) {
+    WantState& want = *it->second;
+    RecoveryRecord rec;
+    rec.source = via.source;
+    rec.seq = seq;
+    rec.detect_time = want.detect_time;
+    rec.recover_time = sim_.now();
+    rec.recovered = true;
+    rec.expedited = via.type == net::PacketType::kExpReply;
+    rec.rounds = want.backoff;
+    stats_.recoveries.push_back(rec);
+    if (want.exp_timer && want.exp_timer->armed())
+      ++stats_.exp_requests_cancelled;
+    // Adaptive request timers (Floyd et al. §V): feed the completed
+    // episode's duplicate count and, when we requested ourselves, the
+    // delay our timer contributed (in units of d̂hs).
+    if (req_ctrl_ && want.requests_seen > 0) {
+      const double dups = static_cast<double>(want.requests_seen - 1);
+      if (want.first_own_request < sim::SimTime::infinity()) {
+        const double d = distance_to(via.source);
+        const double delay_norm =
+            d > 0.0
+                ? (want.first_own_request - want.detect_time).to_seconds() / d
+                : 0.0;
+        req_ctrl_->observe(dups, delay_norm);
+      } else {
+        req_ctrl_->observe_duplicates(dups);
+      }
+    }
+    s.want.erase(it);  // timers cancel via destructors
+  } else if (via.type == net::PacketType::kReply ||
+             via.type == net::PacketType::kExpReply) {
+    // A retransmission delivered a packet whose original we never saw and
+    // whose loss we had not yet detected: the repair beat detection.
+    ++stats_.repairs_before_detection;
+  }
+  on_packet_available(via.source, seq);
+}
+
+// ---------------------------------------------------------------------------
+// Request scheduling (§2.1)
+// ---------------------------------------------------------------------------
+
+sim::SimTime SrmAgent::draw_request_delay(net::NodeId source, int k) {
+  const double d = distance_to(source);
+  const double c1 = req_ctrl_ ? req_ctrl_->deterministic() : config_.c1;
+  const double c2 = req_ctrl_ ? req_ctrl_->probabilistic() : config_.c2;
+  const double lo = c1 * d;
+  const double hi = (c1 + c2) * d;
+  const double scale = std::ldexp(1.0, std::min(k, config_.max_backoff));
+  return sim::SimTime::from_seconds(scale * rng_.uniform(lo, hi));
+}
+
+void SrmAgent::request_timer_fired(net::NodeId source, net::SeqNo seq) {
+  if (failed_) return;
+  StreamState& s = stream(source);
+  const auto it = s.want.find(seq);
+  CESRM_CHECK_MSG(it != s.want.end(), "request timer for unknown loss");
+  WantState& want = *it->second;
+  CESRM_CHECK(!want.recovered);
+
+  ++stats_.requests_sent;
+  ++want.requests_seen;
+  if (want.first_own_request == sim::SimTime::infinity())
+    want.first_own_request = sim_.now();
+  net_.multicast(self_, net::make_request_packet(self_, source, seq,
+                                                 distance_to(source)));
+  // Schedule the next round.
+  want.backoff = std::min(want.backoff + 1, config_.max_backoff);
+  want.request_timer->arm(draw_request_delay(source, want.backoff));
+  want.abstinence_until =
+      sim_.now() +
+      sim::SimTime::from_seconds(
+          std::ldexp(config_.c3 * distance_to(source), want.backoff));
+}
+
+void SrmAgent::backoff_request(WantState& want) {
+  if (sim_.now() < want.abstinence_until)
+    return;  // same recovery round: discard (§2.1 back-off abstinence)
+  want.backoff = std::min(want.backoff + 1, config_.max_backoff);
+  want.request_timer->arm(draw_request_delay(want.source, want.backoff));
+  want.abstinence_until =
+      sim_.now() +
+      sim::SimTime::from_seconds(
+          std::ldexp(config_.c3 * distance_to(want.source), want.backoff));
+}
+
+void SrmAgent::handle_request(const net::Packet& pkt) {
+  ++stats_.requests_received;
+  if (!originates(pkt.source) && pkt.seq > 0)
+    note_new_sequence(pkt.source, pkt.seq - 1);
+
+  if (has_packet(pkt.source, pkt.seq)) {
+    ReplyState& rs = reply_state(pkt.source, pkt.seq);
+    if (sim_.now() < rs.abstinence_until)
+      return;  // reply pending: discard the request (§2.2)
+    if (rs.scheduled) return;  // a reply is already on its way
+    rs.scheduled = true;
+    rs.requestor = pkt.ann.requestor;
+    rs.requestor_dist_to_src = pkt.ann.dist_requestor_source;
+    rs.request_arrival = sim_.now();
+    const double d = distance_to(rs.requestor);
+    const double d1 = rep_ctrl_ ? rep_ctrl_->deterministic() : config_.d1;
+    const double d2 = rep_ctrl_ ? rep_ctrl_->probabilistic() : config_.d2;
+    const double lo = d1 * d;
+    const double hi = (d1 + d2) * d;
+    rs.reply_timer->arm(sim::SimTime::from_seconds(rng_.uniform(lo, hi)));
+    return;
+  }
+
+  // We share the loss. Either back off our scheduled request or, if this
+  // is the first we hear of the packet, detect it in suppressed mode.
+  StreamState& s = stream(pkt.source);
+  if (auto it = s.want.find(pkt.seq); it != s.want.end()) {
+    ++it->second->requests_seen;
+    backoff_request(*it->second);
+  } else if (WantState* fresh =
+                 detect_loss(pkt.source, pkt.seq, /*suppressed=*/true)) {
+    ++fresh->requests_seen;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Reply scheduling (§2.2)
+// ---------------------------------------------------------------------------
+
+SrmAgent::ReplyState& SrmAgent::reply_state(net::NodeId source,
+                                            net::SeqNo seq) {
+  StreamState& s = stream(source);
+  auto it = s.reply.find(seq);
+  if (it == s.reply.end()) {
+    auto state = std::make_unique<ReplyState>();
+    state->reply_timer = std::make_unique<sim::Timer>(
+        sim_, [this, source, seq] { reply_timer_fired(source, seq); });
+    it = s.reply.emplace(seq, std::move(state)).first;
+  }
+  return *it->second;
+}
+
+void SrmAgent::reply_timer_fired(net::NodeId source, net::SeqNo seq) {
+  if (failed_) return;
+  ReplyState& rs = reply_state(source, seq);
+  CESRM_CHECK(rs.scheduled);
+  rs.scheduled = false;
+  CESRM_CHECK(has_packet(source, seq));
+
+  net::RecoveryAnnotation ann;
+  ann.requestor = rs.requestor;
+  ann.dist_requestor_source = rs.requestor_dist_to_src;
+  ann.replier = self_;
+  ann.dist_replier_requestor = distance_to(rs.requestor);
+  ++stats_.replies_sent;
+  if (rep_ctrl_) {
+    // Our reply went out undisturbed: a duplicate-free event, plus a delay
+    // sample (scheduling delay in units of d̂hh').
+    const double d = distance_to(rs.requestor);
+    const double delay_norm =
+        d > 0.0 ? (sim_.now() - rs.request_arrival).to_seconds() / d : 0.0;
+    rep_ctrl_->observe(0.0, delay_norm);
+  }
+  net_.multicast(self_, net::make_reply_packet(self_, source, seq, ann));
+  rs.abstinence_until =
+      sim_.now() + sim::SimTime::from_seconds(config_.d3 *
+                                              distance_to(rs.requestor));
+}
+
+void SrmAgent::handle_reply(const net::Packet& pkt) {
+  // Suppression: cancel any scheduled reply and observe the abstinence
+  // period keyed to the requestor that instigated this reply.
+  ReplyState& rs = reply_state(pkt.source, pkt.seq);
+  if (rep_ctrl_ && sim_.now() < rs.abstinence_until) {
+    // A reply arrived while one was already pending here: a duplicate
+    // event from this host's vantage point.
+    rep_ctrl_->observe_duplicates(1.0);
+  }
+  if (rs.scheduled) {
+    rs.scheduled = false;
+    rs.reply_timer->cancel();
+  }
+  const sim::SimTime abstinence =
+      sim_.now() + sim::SimTime::from_seconds(
+                       config_.d3 * distance_to(pkt.ann.requestor));
+  rs.abstinence_until = std::max(rs.abstinence_until, abstinence);
+
+  if (!originates(pkt.source)) {
+    mark_received(pkt);
+    note_new_sequence(pkt.source, pkt.seq);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Session protocol
+// ---------------------------------------------------------------------------
+
+void SrmAgent::session_timer_fired() {
+  if (failed_) return;
+  auto payload = std::make_shared<net::SessionPayload>();
+  payload->stamp = sim_.now();
+  for (const auto& [source, s] : streams_) {
+    const net::SeqNo highest =
+        originates(source) ? s.last_sent : s.highest_seq;
+    if (highest >= 0) payload->streams.push_back({source, highest});
+  }
+  payload->echoes = dist_.build_echoes(sim_.now());
+  ++stats_.session_sent;
+  net_.multicast(self_, net::make_session_packet(self_, primary_source_,
+                                                 std::move(payload)));
+  session_timer_->arm(config_.session_period);
+}
+
+// ---------------------------------------------------------------------------
+// CESRM hooks (no-ops in plain SRM)
+// ---------------------------------------------------------------------------
+
+void SrmAgent::on_loss_detected(WantState&) {}
+void SrmAgent::on_reply_observed(const net::Packet&) {}
+void SrmAgent::on_exp_request(const net::Packet& pkt) {
+  // Plain SRM members never receive expedited requests; tolerate them
+  // silently (mixed deployments fall back to normal recovery).
+  (void)pkt;
+}
+void SrmAgent::on_packet_available(net::NodeId, net::SeqNo) {}
+
+}  // namespace cesrm::srm

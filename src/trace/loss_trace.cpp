@@ -1,0 +1,140 @@
+#include "trace/loss_trace.hpp"
+
+#include "util/check.hpp"
+
+namespace cesrm::trace {
+
+LossTrace::LossTrace(std::string name,
+                     std::shared_ptr<const net::MulticastTree> tree,
+                     sim::SimTime period, net::SeqNo packet_count)
+    : name_(std::move(name)),
+      tree_(std::move(tree)),
+      period_(period),
+      packet_count_(packet_count) {
+  CESRM_CHECK(tree_ != nullptr);
+  CESRM_CHECK(period_ > sim::SimTime::zero());
+  CESRM_CHECK(packet_count_ > 0);
+  receivers_ = tree_->receivers();
+  CESRM_CHECK_MSG(receivers_.size() <= 32,
+                  "loss patterns are packed into 32-bit masks");
+  node_to_ridx_.assign(tree_->size(), kNpos);
+  for (std::size_t r = 0; r < receivers_.size(); ++r)
+    node_to_ridx_[static_cast<std::size_t>(receivers_[r])] = r;
+  loss_.assign(receivers_.size(),
+               std::vector<std::uint8_t>(
+                   static_cast<std::size_t>(packet_count_), 0));
+}
+
+net::NodeId LossTrace::receiver_node(std::size_t ridx) const {
+  CESRM_CHECK(ridx < receivers_.size());
+  return receivers_[ridx];
+}
+
+std::size_t LossTrace::receiver_index(net::NodeId node) const {
+  CESRM_CHECK(node >= 0 && static_cast<std::size_t>(node) < node_to_ridx_.size());
+  const std::size_t r = node_to_ridx_[static_cast<std::size_t>(node)];
+  CESRM_CHECK_MSG(r != kNpos, "node " << node << " is not a receiver");
+  return r;
+}
+
+void LossTrace::set_lost(std::size_t ridx, net::SeqNo seq, bool lost) {
+  CESRM_CHECK(ridx < loss_.size());
+  CESRM_CHECK(seq >= 0 && seq < packet_count_);
+  loss_[ridx][static_cast<std::size_t>(seq)] = lost ? 1 : 0;
+}
+
+bool LossTrace::lost(std::size_t ridx, net::SeqNo seq) const {
+  CESRM_DCHECK(ridx < loss_.size());
+  CESRM_DCHECK(seq >= 0 && seq < packet_count_);
+  return loss_[ridx][static_cast<std::size_t>(seq)] != 0;
+}
+
+bool LossTrace::lost_by_node(net::NodeId node, net::SeqNo seq) const {
+  return lost(receiver_index(node), seq);
+}
+
+LossPattern LossTrace::pattern(net::SeqNo seq) const {
+  LossPattern p = 0;
+  for (std::size_t r = 0; r < loss_.size(); ++r)
+    if (lost(r, seq)) p |= (LossPattern{1} << r);
+  return p;
+}
+
+std::uint64_t LossTrace::total_losses() const {
+  std::uint64_t total = 0;
+  for (std::size_t r = 0; r < loss_.size(); ++r)
+    total += receiver_losses(r);
+  return total;
+}
+
+std::uint64_t LossTrace::receiver_losses(std::size_t ridx) const {
+  CESRM_CHECK(ridx < loss_.size());
+  std::uint64_t n = 0;
+  for (auto b : loss_[ridx]) n += b;
+  return n;
+}
+
+double LossTrace::loss_rate() const {
+  const double cells = static_cast<double>(receivers_.size()) *
+                       static_cast<double>(packet_count_);
+  return cells > 0 ? static_cast<double>(total_losses()) / cells : 0.0;
+}
+
+std::uint64_t LossTrace::lossy_packets() const {
+  std::uint64_t n = 0;
+  for (net::SeqNo i = 0; i < packet_count_; ++i)
+    if (pattern(i) != 0) ++n;
+  return n;
+}
+
+std::map<LossPattern, std::uint64_t> LossTrace::pattern_histogram() const {
+  std::map<LossPattern, std::uint64_t> hist;
+  for (net::SeqNo i = 0; i < packet_count_; ++i) {
+    const LossPattern p = pattern(i);
+    if (p != 0) ++hist[p];
+  }
+  return hist;
+}
+
+double LossTrace::pattern_repeat_fraction() const {
+  std::uint64_t repeats = 0;
+  std::uint64_t transitions = 0;
+  LossPattern prev = 0;
+  bool have_prev = false;
+  for (net::SeqNo i = 0; i < packet_count_; ++i) {
+    const LossPattern p = pattern(i);
+    if (p == 0) continue;
+    if (have_prev) {
+      ++transitions;
+      if (p == prev) ++repeats;
+    }
+    prev = p;
+    have_prev = true;
+  }
+  return transitions ? static_cast<double>(repeats) /
+                           static_cast<double>(transitions)
+                     : 0.0;
+}
+
+double LossTrace::mean_burst_length() const {
+  std::uint64_t bursts = 0;
+  std::uint64_t losses = 0;
+  for (const auto& seq : loss_) {
+    bool in_burst = false;
+    for (auto b : seq) {
+      if (b) {
+        ++losses;
+        if (!in_burst) {
+          ++bursts;
+          in_burst = true;
+        }
+      } else {
+        in_burst = false;
+      }
+    }
+  }
+  return bursts ? static_cast<double>(losses) / static_cast<double>(bursts)
+                : 0.0;
+}
+
+}  // namespace cesrm::trace

@@ -1,0 +1,161 @@
+#include "trace/serialization.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "net/topology_builder.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace cesrm::trace {
+
+namespace {
+constexpr const char* kMagic = "# cesrm-trace v1";
+}
+
+void write_trace(std::ostream& os, const LossTrace& trace,
+                 const std::vector<std::vector<net::LinkId>>* truth) {
+  os << kMagic << '\n';
+  os << "name " << trace.name() << '\n';
+  os << "period_ms " << static_cast<std::int64_t>(trace.period().to_millis())
+     << '\n';
+  os << "packets " << trace.packet_count() << '\n';
+  os << "tree " << trace.tree().to_string() << '\n';
+  for (std::size_t r = 0; r < trace.receiver_count(); ++r) {
+    os << "loss " << r;
+    // Run-length encode the binary sequence.
+    net::SeqNo i = 0;
+    while (i < trace.packet_count()) {
+      const bool v = trace.lost(r, i);
+      net::SeqNo j = i;
+      while (j < trace.packet_count() && trace.lost(r, j) == v) ++j;
+      os << ' ' << (j - i) << 'x' << (v ? 1 : 0);
+      i = j;
+    }
+    os << '\n';
+  }
+  if (truth) {
+    for (std::size_t i = 0; i < truth->size(); ++i) {
+      if ((*truth)[i].empty()) continue;
+      os << "truth " << i;
+      for (net::LinkId l : (*truth)[i]) os << ' ' << l;
+      os << '\n';
+    }
+  }
+  os << "end\n";
+}
+
+void save_trace(const std::string& path, const LossTrace& trace,
+                const std::vector<std::vector<net::LinkId>>* truth) {
+  std::ofstream out(path);
+  CESRM_CHECK_MSG(out.good(), "cannot open for write: " << path);
+  write_trace(out, trace, truth);
+  CESRM_CHECK_MSG(out.good(), "write failed: " << path);
+}
+
+TraceFile read_trace(std::istream& is) {
+  std::string line;
+  CESRM_CHECK_MSG(std::getline(is, line) &&
+                      util::trim(line) == std::string(kMagic),
+                  "bad trace magic");
+
+  std::string name;
+  std::int64_t period_ms = -1;
+  net::SeqNo packets = -1;
+  std::shared_ptr<const net::MulticastTree> tree;
+  std::vector<std::pair<std::size_t, std::string>> loss_lines;
+  std::vector<std::pair<net::SeqNo, std::vector<net::LinkId>>> truth_lines;
+  bool saw_end = false;
+
+  while (std::getline(is, line)) {
+    const auto trimmed = std::string(util::trim(line));
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed == "end") {
+      saw_end = true;
+      break;
+    }
+    const auto sp = trimmed.find(' ');
+    CESRM_CHECK_MSG(sp != std::string::npos, "malformed line: " << trimmed);
+    const std::string key = trimmed.substr(0, sp);
+    const std::string rest = std::string(util::trim(trimmed.substr(sp + 1)));
+    if (key == "name") {
+      name = rest;
+    } else if (key == "period_ms") {
+      const auto v = util::parse_int(rest);
+      CESRM_CHECK_MSG(v && *v > 0, "bad period_ms: " << rest);
+      period_ms = *v;
+    } else if (key == "packets") {
+      const auto v = util::parse_int(rest);
+      CESRM_CHECK_MSG(v && *v > 0, "bad packets: " << rest);
+      packets = *v;
+    } else if (key == "tree") {
+      tree = std::make_shared<net::MulticastTree>(net::parse_tree(rest));
+    } else if (key == "loss") {
+      const auto sp2 = rest.find(' ');
+      CESRM_CHECK_MSG(sp2 != std::string::npos, "malformed loss line");
+      const auto ridx = util::parse_int(rest.substr(0, sp2));
+      CESRM_CHECK_MSG(ridx && *ridx >= 0, "bad receiver index");
+      loss_lines.emplace_back(static_cast<std::size_t>(*ridx),
+                              rest.substr(sp2 + 1));
+    } else if (key == "truth") {
+      const auto toks = util::split_ws(rest);
+      CESRM_CHECK_MSG(!toks.empty(), "malformed truth line");
+      const auto seq = util::parse_int(toks[0]);
+      CESRM_CHECK_MSG(seq && *seq >= 0, "bad truth seq");
+      std::vector<net::LinkId> links;
+      for (std::size_t t = 1; t < toks.size(); ++t) {
+        const auto l = util::parse_int(toks[t]);
+        CESRM_CHECK_MSG(l && *l >= 0, "bad truth link");
+        links.push_back(static_cast<net::LinkId>(*l));
+      }
+      truth_lines.emplace_back(*seq, std::move(links));
+    } else {
+      CESRM_CHECK_MSG(false, "unknown trace key: " << key);
+    }
+  }
+  CESRM_CHECK_MSG(saw_end, "trace missing 'end' terminator");
+  CESRM_CHECK_MSG(tree != nullptr, "trace missing tree");
+  CESRM_CHECK_MSG(period_ms > 0 && packets > 0, "trace missing header fields");
+
+  TraceFile out;
+  out.loss = std::make_shared<LossTrace>(name, tree,
+                                         sim::SimTime::millis(period_ms),
+                                         packets);
+  CESRM_CHECK_MSG(loss_lines.size() == out.loss->receiver_count(),
+                  "loss line count mismatch");
+  for (const auto& [ridx, rle] : loss_lines) {
+    CESRM_CHECK(ridx < out.loss->receiver_count());
+    net::SeqNo pos = 0;
+    for (const auto& tok : util::split_ws(rle)) {
+      const auto x = tok.find('x');
+      CESRM_CHECK_MSG(x != std::string::npos, "bad RLE token: " << tok);
+      const auto count = util::parse_int(tok.substr(0, x));
+      const auto value = util::parse_int(tok.substr(x + 1));
+      CESRM_CHECK_MSG(count && *count > 0 && value &&
+                          (*value == 0 || *value == 1),
+                      "bad RLE token: " << tok);
+      if (*value == 1)
+        for (net::SeqNo i = 0; i < *count; ++i)
+          out.loss->set_lost(ridx, pos + i);
+      pos += *count;
+    }
+    CESRM_CHECK_MSG(pos == packets, "RLE length mismatch for receiver "
+                                        << ridx << ": " << pos);
+  }
+  if (!truth_lines.empty()) {
+    out.true_drop_links.assign(static_cast<std::size_t>(packets), {});
+    for (auto& [seq, links] : truth_lines) {
+      CESRM_CHECK(seq < packets);
+      out.true_drop_links[static_cast<std::size_t>(seq)] = std::move(links);
+    }
+  }
+  return out;
+}
+
+TraceFile load_trace(const std::string& path) {
+  std::ifstream in(path);
+  CESRM_CHECK_MSG(in.good(), "cannot open for read: " << path);
+  return read_trace(in);
+}
+
+}  // namespace cesrm::trace

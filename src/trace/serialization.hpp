@@ -1,0 +1,35 @@
+// serialization.hpp — text round-trip for loss traces.
+//
+// A simple line-oriented format keeps generated traces inspectable and
+// diffable. Per-receiver loss sequences are run-length encoded ("731x0
+// 5x1 ...") — the sequences are bursty, so RLE keeps files small. The
+// ground-truth drop links (synthetic traces only) are optional "truth"
+// lines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "trace/trace_generator.hpp"
+
+namespace cesrm::trace {
+
+/// Serialized trace bundle: the loss trace and (optionally) ground truth.
+struct TraceFile {
+  std::shared_ptr<LossTrace> loss;
+  std::vector<std::vector<net::LinkId>> true_drop_links;  // may be empty
+  bool has_truth() const { return !true_drop_links.empty(); }
+};
+
+/// Writes a trace (with ground truth when `truth` is non-null).
+void write_trace(std::ostream& os, const LossTrace& trace,
+                 const std::vector<std::vector<net::LinkId>>* truth = nullptr);
+void save_trace(const std::string& path, const LossTrace& trace,
+                const std::vector<std::vector<net::LinkId>>* truth = nullptr);
+
+/// Parses a trace written by write_trace. Throws util::CheckError on
+/// malformed input.
+TraceFile read_trace(std::istream& is);
+TraceFile load_trace(const std::string& path);
+
+}  // namespace cesrm::trace

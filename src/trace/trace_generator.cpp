@@ -1,0 +1,202 @@
+#include "trace/trace_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "net/topology_builder.hpp"
+#include "trace/gilbert_elliott.hpp"
+#include "util/check.hpp"
+#include "util/logging.hpp"
+
+namespace cesrm::trace {
+
+namespace {
+
+/// Everything fixed once per spec: tree, per-link base parameters, and the
+/// per-link RNG seeds (identical across calibration iterations so that the
+/// loss count is a stable function of the multiplier).
+struct Blueprint {
+  std::shared_ptr<const net::MulticastTree> tree;
+  std::vector<double> base_rate;   // by LinkId (child node id)
+  std::vector<double> mean_burst;  // by LinkId
+  std::vector<std::uint64_t> link_seed;
+  std::vector<net::NodeId> bfs_order;  // parents before children
+};
+
+Blueprint make_blueprint(const TraceSpec& spec, const GeneratorConfig& cfg,
+                         util::Rng& rng) {
+  Blueprint bp;
+  net::TreeShape shape;
+  shape.receivers = spec.receivers;
+  shape.depth = spec.depth;
+  shape.max_branching = cfg.max_branching;
+  bp.tree = std::make_shared<net::MulticastTree>(
+      net::build_random_tree(shape, rng));
+
+  const auto n = bp.tree->size();
+  bp.base_rate.assign(n, 0.0);
+  bp.mean_burst.assign(n, 1.0);
+  bp.link_seed.assign(n, 0);
+  const double ln_lo = std::log(cfg.min_base_rate);
+  const double ln_hi = std::log(cfg.max_base_rate);
+  for (net::LinkId l : bp.tree->links()) {
+    const auto li = static_cast<std::size_t>(l);
+    bp.base_rate[li] = std::exp(rng.uniform(ln_lo, ln_hi));
+    if (rng.bernoulli(cfg.hot_link_fraction))
+      bp.base_rate[li] *= cfg.hot_boost;
+    bp.mean_burst[li] = rng.uniform(cfg.min_burst, cfg.max_burst);
+    bp.link_seed[li] = rng.next_u64();
+  }
+
+  // BFS node order guarantees parents precede children when propagating
+  // reachability packet by packet.
+  bp.bfs_order.push_back(bp.tree->root());
+  for (std::size_t i = 0; i < bp.bfs_order.size(); ++i)
+    for (net::NodeId c : bp.tree->children(bp.bfs_order[i]))
+      bp.bfs_order.push_back(c);
+  return bp;
+}
+
+/// Runs the loss processes at rate multiplier `mu`. When `out` is null the
+/// pass only counts total receiver losses (calibration); otherwise it
+/// fills the LossTrace and ground-truth drop links.
+std::uint64_t run_processes(const TraceSpec& spec, const Blueprint& bp,
+                            double mu, GeneratedTrace* out) {
+  const auto& tree = *bp.tree;
+  const auto n = tree.size();
+
+  std::vector<util::Rng> link_rng;
+  std::vector<GilbertElliott> chain;
+  link_rng.reserve(n);
+  chain.reserve(n);
+  std::vector<double> final_rate(n, 0.0);
+  for (std::size_t v = 0; v < n; ++v) {
+    link_rng.emplace_back(bp.link_seed[v]);
+    const double rate = std::min(0.95, mu * bp.base_rate[v]);
+    final_rate[v] = rate;
+    chain.push_back(GilbertElliott::from_rate_and_burst(
+        std::max(rate, 0.0), bp.mean_burst[v]));
+  }
+
+  std::shared_ptr<LossTrace> loss;
+  if (out) {
+    loss = std::make_shared<LossTrace>(
+        spec.name, bp.tree, sim::SimTime::millis(spec.period_ms),
+        spec.packets);
+    out->true_drop_links.assign(static_cast<std::size_t>(spec.packets), {});
+    out->link_loss_rate = final_rate;
+    out->link_mean_burst = bp.mean_burst;
+  }
+
+  const auto& receivers = tree.receivers();
+  std::vector<std::uint8_t> reached(n, 0);
+  std::vector<std::uint8_t> bad(n, 0);
+  std::uint64_t total_losses = 0;
+
+  for (net::SeqNo i = 0; i < spec.packets; ++i) {
+    // All link states advance every packet slot — link quality evolves in
+    // time whether or not traffic reaches the link.
+    for (net::LinkId l : tree.links()) {
+      const auto li = static_cast<std::size_t>(l);
+      bad[li] = chain[li].step(link_rng[li]) ? 1 : 0;
+    }
+    reached[static_cast<std::size_t>(tree.root())] = 1;
+    for (std::size_t oi = 1; oi < bp.bfs_order.size(); ++oi) {
+      const net::NodeId v = bp.bfs_order[oi];
+      const auto vi = static_cast<std::size_t>(v);
+      const auto pi = static_cast<std::size_t>(tree.parent(v));
+      if (!reached[pi]) {
+        reached[vi] = 0;
+        continue;
+      }
+      if (bad[vi]) {
+        reached[vi] = 0;
+        if (out) out->true_drop_links[static_cast<std::size_t>(i)].push_back(v);
+      } else {
+        reached[vi] = 1;
+      }
+    }
+    for (std::size_t r = 0; r < receivers.size(); ++r) {
+      if (!reached[static_cast<std::size_t>(receivers[r])]) {
+        ++total_losses;
+        if (out) loss->set_lost(r, i);
+      }
+    }
+  }
+
+  if (out) out->loss = std::move(loss);
+  return total_losses;
+}
+
+}  // namespace
+
+GeneratedTrace generate_trace(const TraceSpec& spec,
+                              const GeneratorConfig& config) {
+  CESRM_CHECK(spec.packets > 0);
+  CESRM_CHECK(spec.receivers >= 1);
+  util::Rng rng(spec.seed);
+  const Blueprint bp = make_blueprint(spec, config, rng);
+
+  const auto target = static_cast<double>(spec.losses);
+  const double tol = config.loss_tolerance;
+
+  // Bracket the multiplier: losses(mu) is (statistically) increasing.
+  double mu_lo = 1.0;
+  double mu_hi = 1.0;
+  std::uint64_t losses_at_hi = run_processes(spec, bp, mu_hi, nullptr);
+  int iters = 1;
+  while (static_cast<double>(losses_at_hi) < target && mu_hi < 4096.0) {
+    mu_lo = mu_hi;
+    mu_hi *= 2.0;
+    losses_at_hi = run_processes(spec, bp, mu_hi, nullptr);
+    ++iters;
+  }
+  std::uint64_t losses_at_lo = run_processes(spec, bp, mu_lo, nullptr);
+  ++iters;
+  while (static_cast<double>(losses_at_lo) > target && mu_lo > 1.0 / 4096.0) {
+    mu_hi = mu_lo;
+    losses_at_hi = losses_at_lo;
+    mu_lo /= 2.0;
+    losses_at_lo = run_processes(spec, bp, mu_lo, nullptr);
+    ++iters;
+  }
+
+  double best_mu = mu_hi;
+  double best_err = std::abs(static_cast<double>(losses_at_hi) - target);
+  auto consider = [&](double mu, std::uint64_t losses) {
+    const double err = std::abs(static_cast<double>(losses) - target);
+    if (err < best_err) {
+      best_err = err;
+      best_mu = mu;
+    }
+  };
+  consider(mu_lo, losses_at_lo);
+
+  while (iters < config.max_calibration_iters &&
+         best_err / target > tol) {
+    const double mid = 0.5 * (mu_lo + mu_hi);
+    const std::uint64_t losses_mid = run_processes(spec, bp, mid, nullptr);
+    ++iters;
+    consider(mid, losses_mid);
+    if (static_cast<double>(losses_mid) < target)
+      mu_lo = mid;
+    else
+      mu_hi = mid;
+    if (mu_hi - mu_lo < 1e-9) break;
+  }
+
+  GeneratedTrace out;
+  const std::uint64_t final_losses = run_processes(spec, bp, best_mu, &out);
+  out.rate_multiplier = best_mu;
+  out.calibration_iters = iters;
+  CESRM_LOG_INFO << "trace " << spec.name << ": target=" << spec.losses
+                 << " generated=" << final_losses << " mu=" << best_mu
+                 << " iters=" << iters;
+  return out;
+}
+
+GeneratedTrace generate_table1_trace(int id, const GeneratorConfig& config) {
+  return generate_trace(table1_spec(id), config);
+}
+
+}  // namespace cesrm::trace

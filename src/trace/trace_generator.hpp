@@ -1,0 +1,63 @@
+// trace_generator.hpp — synthetic re-creation of the Yajnik et al. traces.
+//
+// Pipeline per TraceSpec: (1) generate a random multicast tree with the
+// published receiver count and depth; (2) assign every link a
+// Gilbert–Elliott loss process with a heterogeneous base rate (a few "hot"
+// links dominate, mirroring MBone measurements) and a random mean burst
+// length; (3) calibrate a global rate multiplier by bisection until the
+// total receiver-loss count matches the published "# of Losses" within a
+// tolerance; (4) emit the per-receiver binary loss sequences *and* the
+// ground-truth per-packet drop links (which the paper could not observe —
+// we use them to validate the §4.2 inference).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/ids.hpp"
+#include "net/topology.hpp"
+#include "trace/catalog.hpp"
+#include "trace/loss_trace.hpp"
+#include "util/rng.hpp"
+
+namespace cesrm::trace {
+
+/// Knobs for the synthetic loss processes; defaults give MBone-like
+/// bursty, spatially heterogeneous losses.
+struct GeneratorConfig {
+  double min_base_rate = 0.002;   ///< log-uniform base rate lower bound
+  double max_base_rate = 0.05;    ///< log-uniform base rate upper bound
+  double hot_link_fraction = 0.2; ///< fraction of links boosted ×hot_boost
+  double hot_boost = 4.0;
+  double min_burst = 1.5;         ///< mean burst length bounds
+  double max_burst = 8.0;
+  double loss_tolerance = 0.02;   ///< relative calibration tolerance
+  int max_calibration_iters = 40;
+  int max_branching = 4;          ///< tree bushiness cap
+};
+
+/// A generated trace plus ground truth for inference validation.
+struct GeneratedTrace {
+  std::shared_ptr<LossTrace> loss;
+  /// For each packet, the links on which it was dropped (links whose
+  /// Gilbert chain was BAD *and* that the packet actually reached).
+  /// Indexed by sequence number; empty vector = delivered everywhere.
+  std::vector<std::vector<net::LinkId>> true_drop_links;
+  /// Per-link loss processes actually used after calibration, indexed by
+  /// LinkId (= child node id); entry for the root is unused.
+  std::vector<double> link_loss_rate;
+  std::vector<double> link_mean_burst;
+  /// Calibration diagnostics.
+  double rate_multiplier = 1.0;
+  int calibration_iters = 0;
+};
+
+/// Generates the trace for `spec`. Deterministic in spec.seed.
+GeneratedTrace generate_trace(const TraceSpec& spec,
+                              const GeneratorConfig& config = {});
+
+/// Convenience: generate Table-1 trace `id` (1-based).
+GeneratedTrace generate_table1_trace(int id,
+                                     const GeneratorConfig& config = {});
+
+}  // namespace cesrm::trace

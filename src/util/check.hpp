@@ -1,0 +1,55 @@
+// check.hpp — lightweight invariant-checking macros.
+//
+// CESRM_CHECK is always on (simulation correctness beats a few branches);
+// CESRM_DCHECK compiles out in NDEBUG builds. Failures throw
+// cesrm::util::CheckError so tests can assert on violations and long
+// experiment drivers can fail a single trace without aborting the process.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cesrm::util {
+
+/// Thrown when a CESRM_CHECK condition is violated.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckError(os.str());
+}
+}  // namespace detail
+
+}  // namespace cesrm::util
+
+#define CESRM_CHECK(cond)                                                  \
+  do {                                                                     \
+    if (!(cond))                                                           \
+      ::cesrm::util::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define CESRM_CHECK_MSG(cond, msg)                                        \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream cesrm_check_os;                                  \
+      cesrm_check_os << msg;                                              \
+      ::cesrm::util::detail::check_failed(#cond, __FILE__, __LINE__,      \
+                                          cesrm_check_os.str());          \
+    }                                                                     \
+  } while (0)
+
+#ifdef NDEBUG
+#define CESRM_DCHECK(cond) \
+  do {                     \
+  } while (0)
+#else
+#define CESRM_DCHECK(cond) CESRM_CHECK(cond)
+#endif

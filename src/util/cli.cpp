@@ -1,0 +1,155 @@
+#include "util/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace cesrm::util {
+
+CliFlags::CliFlags(std::string program_description)
+    : description_(std::move(program_description)) {}
+
+void CliFlags::add_int(const std::string& name, std::int64_t default_value,
+                       const std::string& help) {
+  flags_[name] = Flag{Type::kInt, help, std::to_string(default_value)};
+}
+
+void CliFlags::add_double(const std::string& name, double default_value,
+                          const std::string& help) {
+  std::ostringstream os;
+  os << default_value;
+  flags_[name] = Flag{Type::kDouble, help, os.str()};
+}
+
+void CliFlags::add_string(const std::string& name,
+                          const std::string& default_value,
+                          const std::string& help) {
+  flags_[name] = Flag{Type::kString, help, default_value};
+}
+
+void CliFlags::add_bool(const std::string& name, bool default_value,
+                        const std::string& help) {
+  flags_[name] = Flag{Type::kBool, help, default_value ? "true" : "false"};
+}
+
+bool CliFlags::set_value(const std::string& name, const std::string& value) {
+  auto it = flags_.find(name);
+  if (it == flags_.end()) return false;
+  switch (it->second.type) {
+    case Type::kInt:
+      if (!parse_int(value)) return false;
+      break;
+    case Type::kDouble:
+      if (!parse_double(value)) return false;
+      break;
+    case Type::kBool:
+      if (value != "true" && value != "false") return false;
+      break;
+    case Type::kString:
+      break;
+  }
+  it->second.value = value;
+  return true;
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  if (argc > 0) program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    if (!starts_with(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    if (const auto eq = body.find('='); eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end() && starts_with(name, "no-")) {
+      // --no-flag form for booleans.
+      const std::string base = name.substr(3);
+      auto bit = flags_.find(base);
+      if (bit != flags_.end() && bit->second.type == Type::kBool && !has_value) {
+        bit->second.value = "false";
+        continue;
+      }
+    }
+    if (it == flags_.end()) {
+      std::cerr << "unknown flag --" << name << "\n" << usage();
+      return false;
+    }
+    if (!has_value) {
+      if (it->second.type == Type::kBool) {
+        value = "true";
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        std::cerr << "flag --" << name << " needs a value\n" << usage();
+        return false;
+      }
+    }
+    if (!set_value(name, value)) {
+      std::cerr << "bad value for --" << name << ": '" << value << "'\n"
+                << usage();
+      return false;
+    }
+  }
+  return true;
+}
+
+const CliFlags::Flag& CliFlags::flag(const std::string& name,
+                                     Type type) const {
+  auto it = flags_.find(name);
+  CESRM_CHECK_MSG(it != flags_.end(), "flag not registered: " << name);
+  CESRM_CHECK_MSG(it->second.type == type, "flag type mismatch: " << name);
+  return it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name) const {
+  return *parse_int(flag(name, Type::kInt).value);
+}
+
+double CliFlags::get_double(const std::string& name) const {
+  return *parse_double(flag(name, Type::kDouble).value);
+}
+
+std::string CliFlags::get_string(const std::string& name) const {
+  return flag(name, Type::kString).value;
+}
+
+bool CliFlags::get_bool(const std::string& name) const {
+  return flag(name, Type::kBool).value == "true";
+}
+
+std::string CliFlags::usage() const {
+  std::ostringstream os;
+  if (!description_.empty()) os << description_ << "\n";
+  os << "usage: " << (program_.empty() ? "program" : program_)
+     << " [--flag=value ...]\n";
+  for (const auto& [name, f] : flags_) {
+    os << "  --" << name;
+    switch (f.type) {
+      case Type::kInt: os << " <int>"; break;
+      case Type::kDouble: os << " <float>"; break;
+      case Type::kString: os << " <string>"; break;
+      case Type::kBool: os << " (bool)"; break;
+    }
+    os << "  " << f.help << " (default: " << f.value << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace cesrm::util

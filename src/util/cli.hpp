@@ -1,0 +1,59 @@
+// cli.hpp — tiny declarative command-line flag parser for examples and
+// bench binaries. Supports --name=value, --name value, and boolean
+// --flag / --no-flag forms, plus automatic --help text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cesrm::util {
+
+/// Declarative flag set. Register flags with defaults, call parse(), then
+/// read typed values. Unknown flags are an error; positional arguments are
+/// collected in positional().
+class CliFlags {
+ public:
+  explicit CliFlags(std::string program_description = "");
+
+  void add_int(const std::string& name, std::int64_t default_value,
+               const std::string& help);
+  void add_double(const std::string& name, double default_value,
+                  const std::string& help);
+  void add_string(const std::string& name, const std::string& default_value,
+                  const std::string& help);
+  void add_bool(const std::string& name, bool default_value,
+                const std::string& help);
+
+  /// Parses argv. Returns false (after printing usage) on --help or on a
+  /// parse error; the caller should exit in that case.
+  bool parse(int argc, const char* const* argv);
+
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  std::string get_string(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  std::string usage() const;
+
+ private:
+  enum class Type { kInt, kDouble, kString, kBool };
+  struct Flag {
+    Type type;
+    std::string help;
+    std::string value;  // canonical string form
+  };
+
+  const Flag& flag(const std::string& name, Type type) const;
+  bool set_value(const std::string& name, const std::string& value);
+
+  std::string description_;
+  std::string program_;
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace cesrm::util

@@ -1,0 +1,75 @@
+// rng.hpp — deterministic pseudo-random number generation.
+//
+// Every stochastic choice in the repository (trace generation, SRM timer
+// jitter, tree construction) flows through cesrm::util::Rng so that a run
+// is exactly reproducible from its seed. The generator is xoshiro256**,
+// seeded via SplitMix64 — fast, high quality, and trivially forkable so
+// each simulated host / link gets an independent stream.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cesrm::util {
+
+/// SplitMix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** deterministic PRNG with convenience distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit words of state from `seed` via SplitMix64.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Raw 64-bit output.
+  std::uint64_t next_u64();
+
+  /// UniformRandomBitGenerator interface (usable with <random> adaptors).
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+  result_type operator()() { return next_u64(); }
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [lo, hi). Requires lo <= hi.
+  double uniform(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed value with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Standard-normal variate (Box–Muller; no cached spare, keeps state flat).
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Picks an index in [0, weights.size()) with probability proportional
+  /// to weights[i]; all weights must be >= 0 and at least one positive.
+  std::size_t weighted_index(const std::vector<double>& weights);
+
+  /// Derives an independent child generator. Forks from the same parent
+  /// with different tags yield decorrelated streams.
+  Rng fork(std::uint64_t tag);
+
+  /// In-place Fisher–Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j =
+          static_cast<std::size_t>(uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace cesrm::util

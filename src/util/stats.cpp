@@ -1,0 +1,144 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace cesrm::util {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void OnlineStats::merge(const OnlineStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+void Sample::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+double Sample::mean() const {
+  if (values_.empty()) return 0.0;
+  return sum() / static_cast<double>(values_.size());
+}
+
+double Sample::sum() const {
+  return std::accumulate(values_.begin(), values_.end(), 0.0);
+}
+
+double Sample::min() const {
+  CESRM_CHECK(!values_.empty());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Sample::max() const {
+  CESRM_CHECK(!values_.empty());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Sample::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double m2 = 0.0;
+  for (double v : values_) m2 += (v - m) * (v - m);
+  return std::sqrt(m2 / static_cast<double>(values_.size() - 1));
+}
+
+void Sample::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = values_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Sample::percentile(double q) const {
+  CESRM_CHECK(!values_.empty());
+  CESRM_CHECK(q >= 0.0 && q <= 100.0);
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = q / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0) {
+  CESRM_CHECK(hi > lo);
+  CESRM_CHECK(buckets > 0);
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto idx = static_cast<std::int64_t>(std::floor((x - lo_) / width));
+  idx = std::clamp<std::int64_t>(idx, 0,
+                                 static_cast<std::int64_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bucket_hi(std::size_t i) const {
+  return bucket_lo(i + 1);
+}
+
+std::string Histogram::to_string(std::size_t bar_width) const {
+  std::ostringstream os;
+  std::uint64_t peak = 0;
+  for (auto c : counts_) peak = std::max(peak, c);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    os.setf(std::ios::fixed);
+    os.precision(3);
+    os << "[" << bucket_lo(i) << ", " << bucket_hi(i) << ") "
+       << counts_[i] << " ";
+    if (peak > 0) {
+      const auto bar = static_cast<std::size_t>(
+          static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+          static_cast<double>(bar_width));
+      for (std::size_t b = 0; b < bar; ++b) os << '#';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace cesrm::util

@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iostream>
+#include <sstream>
+
+namespace cesrm::util {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  Row r;
+  r.cells = std::move(row);
+  r.rule_before = pending_rule_;
+  pending_rule_ = false;
+  rows_.push_back(std::move(r));
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+void TextTable::set_align(std::size_t column, Align align) {
+  if (align_.size() <= column) align_.resize(column + 1, Align::kRight);
+  align_[column] = align;
+}
+
+std::string TextTable::to_string() const {
+  // Column widths over header + all rows.
+  std::size_t cols = header_.size();
+  for (const auto& r : rows_) cols = std::max(cols, r.cells.size());
+  std::vector<std::size_t> width(cols, 0);
+  auto grow = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c)
+      width[c] = std::max(width[c], cells[c].size());
+  };
+  grow(header_);
+  for (const auto& r : rows_) grow(r.cells);
+
+  auto pad = [&](const std::string& s, std::size_t c) {
+    const Align a = c < align_.size() ? align_[c] : Align::kRight;
+    std::string out;
+    const std::size_t fill = width[c] - std::min(width[c], s.size());
+    if (a == Align::kRight) out.append(fill, ' ');
+    out += s;
+    if (a == Align::kLeft) out.append(fill, ' ');
+    return out;
+  };
+
+  std::ostringstream os;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << std::string(width[c] + 2, '-');
+      if (c + 1 < cols) os << '+';
+    }
+    os << '\n';
+  };
+  if (!title_.empty()) os << title_ << '\n';
+  if (!header_.empty()) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << ' ' << pad(c < header_.size() ? header_[c] : "", c) << ' ';
+      if (c + 1 < cols) os << '|';
+    }
+    os << '\n';
+    rule();
+  }
+  for (const auto& r : rows_) {
+    if (r.rule_before) rule();
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << ' ' << pad(c < r.cells.size() ? r.cells[c] : "", c) << ' ';
+      if (c + 1 < cols) os << '|';
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void TextTable::print() const { std::cout << to_string() << std::flush; }
+
+}  // namespace cesrm::util

@@ -1,0 +1,49 @@
+// table.hpp — ASCII table renderer used by the bench binaries to print the
+// paper's tables/figure series as aligned text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cesrm::util {
+
+/// Column alignment for TextTable cells.
+enum class Align { kLeft, kRight };
+
+/// A simple monospaced table. Add a header row once, then data rows; cells
+/// are strings (format numbers with strings.hpp helpers). Rendering pads
+/// every column to its widest cell.
+class TextTable {
+ public:
+  /// `title` prints above the table; pass "" to omit.
+  explicit TextTable(std::string title = "");
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+  /// Inserts a horizontal rule before the next added row.
+  void add_rule();
+
+  /// Column alignment (defaults to right, which suits numeric tables).
+  void set_align(std::size_t column, Align align);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  std::string to_string() const;
+  /// Convenience: streams to stdout.
+  void print() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> align_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace cesrm::util

@@ -1,0 +1,302 @@
+// Unit tests for the discrete-event simulator: time, event queue, driver,
+// timers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+#include "sim/timer.hpp"
+#include "util/check.hpp"
+
+namespace cesrm::sim {
+namespace {
+
+// ----------------------------------------------------------------- time ----
+
+TEST(SimTime, Constructors) {
+  EXPECT_EQ(SimTime::millis(1).ns(), 1000000);
+  EXPECT_EQ(SimTime::seconds(2).ns(), 2000000000);
+  EXPECT_EQ(SimTime::micros(3).ns(), 3000);
+  EXPECT_DOUBLE_EQ(SimTime::from_seconds(0.5).to_seconds(), 0.5);
+  EXPECT_DOUBLE_EQ(SimTime::millis(250).to_seconds(), 0.25);
+  EXPECT_DOUBLE_EQ(SimTime::millis(250).to_millis(), 250.0);
+}
+
+TEST(SimTime, Arithmetic) {
+  const SimTime a = SimTime::millis(30);
+  const SimTime b = SimTime::millis(20);
+  EXPECT_EQ((a + b).ns(), SimTime::millis(50).ns());
+  EXPECT_EQ((a - b).ns(), SimTime::millis(10).ns());
+  EXPECT_EQ((a * 2.0).ns(), SimTime::millis(60).ns());
+  EXPECT_EQ((0.5 * a).ns(), SimTime::millis(15).ns());
+  EXPECT_EQ((a * std::int64_t{3}).ns(), SimTime::millis(90).ns());
+  EXPECT_DOUBLE_EQ(a / b, 1.5);
+}
+
+TEST(SimTime, Comparisons) {
+  EXPECT_LT(SimTime::millis(1), SimTime::millis(2));
+  EXPECT_EQ(SimTime::zero(), SimTime::nanos(0));
+  EXPECT_GT(SimTime::infinity(), SimTime::seconds(1000000));
+  EXPECT_TRUE((SimTime::zero() - SimTime::millis(1)).is_negative());
+}
+
+// ---------------------------------------------------------- event queue ----
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(SimTime::millis(30), [&] { order.push_back(3); });
+  q.schedule(SimTime::millis(10), [&] { order.push_back(1); });
+  q.schedule(SimTime::millis(20), [&] { order.push_back(2); });
+  SimTime when;
+  EventQueue::Callback cb;
+  EventId id;
+  while (q.pop(when, cb, id)) cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAmongEqualTimes) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i)
+    q.schedule(SimTime::millis(7), [&order, i] { order.push_back(i); });
+  SimTime when;
+  EventQueue::Callback cb;
+  EventId id;
+  while (q.pop(when, cb, id)) cb();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  bool ran = false;
+  const EventId id = q.schedule(SimTime::millis(5), [&] { ran = true; });
+  EXPECT_TRUE(q.is_pending(id));
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.is_pending(id));
+  EXPECT_TRUE(q.empty());
+  SimTime when;
+  EventQueue::Callback cb;
+  EventId popped;
+  EXPECT_FALSE(q.pop(when, cb, popped));
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::millis(5), [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.schedule(SimTime::millis(5), [] {});
+  SimTime when;
+  EventQueue::Callback cb;
+  EventId popped;
+  ASSERT_TRUE(q.pop(when, cb, popped));
+  EXPECT_EQ(popped, id);
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(kInvalidEventId));
+  EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.schedule(SimTime::millis(1), [] {});
+  q.schedule(SimTime::millis(9), [] {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), SimTime::millis(9));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, NextTimeOnEmptyIsInfinity) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), SimTime::infinity());
+}
+
+TEST(EventQueue, NullCallbackRejected) {
+  EventQueue q;
+  EXPECT_THROW(q.schedule(SimTime::zero(), nullptr), util::CheckError);
+}
+
+TEST(EventQueue, StressInterleavedScheduleCancel) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int executed = 0;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(
+        q.schedule(SimTime::millis(i % 100), [&executed] { ++executed; }));
+  for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+  SimTime when;
+  EventQueue::Callback cb;
+  EventId id;
+  SimTime last = SimTime::zero();
+  while (q.pop(when, cb, id)) {
+    EXPECT_GE(when, last);
+    last = when;
+    cb();
+  }
+  EXPECT_EQ(executed, 500);
+}
+
+// ------------------------------------------------------------ simulator ----
+
+TEST(Simulator, ClockAdvancesWithEvents) {
+  Simulator sim;
+  std::vector<double> at;
+  sim.schedule_in(SimTime::millis(10), [&] { at.push_back(sim.now().to_millis()); });
+  sim.schedule_in(SimTime::millis(5), [&] { at.push_back(sim.now().to_millis()); });
+  sim.run();
+  EXPECT_EQ(at, (std::vector<double>{5.0, 10.0}));
+  EXPECT_EQ(sim.now(), SimTime::millis(10));
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+TEST(Simulator, NegativeDelayClampsToNow) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_in(SimTime::zero() - SimTime::millis(5), [&] { ran = true; });
+  sim.run();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(sim.now(), SimTime::zero());
+}
+
+TEST(Simulator, ScheduleAtPastThrows) {
+  Simulator sim;
+  sim.schedule_in(SimTime::millis(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(SimTime::millis(5), [] {}), util::CheckError);
+}
+
+TEST(Simulator, RunUntilLeavesLaterEventsPending) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_in(SimTime::millis(5), [&] { ++ran; });
+  sim.schedule_in(SimTime::millis(15), [&] { ++ran; });
+  sim.run_until(SimTime::millis(10));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(sim.now(), SimTime::millis(10));
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run();
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, RunUntilIncludesBoundary) {
+  Simulator sim;
+  bool ran = false;
+  sim.schedule_in(SimTime::millis(10), [&] { ran = true; });
+  sim.run_until(SimTime::millis(10));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Simulator, StopHaltsRun) {
+  Simulator sim;
+  int ran = 0;
+  sim.schedule_in(SimTime::millis(1), [&] {
+    ++ran;
+    sim.stop();
+  });
+  sim.schedule_in(SimTime::millis(2), [&] { ++ran; });
+  sim.run();
+  EXPECT_EQ(ran, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(ran, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 10) sim.schedule_in(SimTime::millis(1), chain);
+  };
+  sim.schedule_in(SimTime::zero(), chain);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_EQ(sim.now(), SimTime::millis(9));
+}
+
+TEST(Simulator, CancelPendingEvent) {
+  Simulator sim;
+  bool ran = false;
+  const EventId id = sim.schedule_in(SimTime::millis(5), [&] { ran = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  sim.run();
+  EXPECT_FALSE(ran);
+}
+
+// ---------------------------------------------------------------- timer ----
+
+TEST(Timer, FiresOnce) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm(SimTime::millis(3));
+  EXPECT_TRUE(t.armed());
+  EXPECT_EQ(t.expiry(), SimTime::millis(3));
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(t.armed());
+  EXPECT_EQ(t.expiry(), SimTime::infinity());
+}
+
+TEST(Timer, CancelPreventsFire) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm(SimTime::millis(3));
+  t.cancel();
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, RearmReplacesPendingExpiry) {
+  Simulator sim;
+  std::vector<double> fire_times;
+  Timer t(sim, [&] { fire_times.push_back(sim.now().to_millis()); });
+  t.arm(SimTime::millis(3));
+  t.arm(SimTime::millis(8));  // re-arm before firing
+  sim.run();
+  EXPECT_EQ(fire_times, std::vector<double>{8.0});
+}
+
+TEST(Timer, RearmFromOwnCallback) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] {
+    if (++fired < 3) t.arm(SimTime::millis(1));
+  });
+  t.arm(SimTime::millis(1));
+  sim.run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(Timer, DestructionCancelsPendingExpiry) {
+  Simulator sim;
+  int fired = 0;
+  {
+    Timer t(sim, [&] { ++fired; });
+    t.arm(SimTime::millis(3));
+  }
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, ArmAtAbsoluteTime) {
+  Simulator sim;
+  double fired_at = -1.0;
+  Timer t(sim, [&] { fired_at = sim.now().to_millis(); });
+  sim.schedule_in(SimTime::millis(2), [&] { t.arm_at(SimTime::millis(9)); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 9.0);
+}
+
+}  // namespace
+}  // namespace cesrm::sim

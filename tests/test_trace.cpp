@@ -1,0 +1,367 @@
+// Unit tests for the trace model: loss traces, the Gilbert–Elliott chain,
+// the Table-1 catalog, the calibrated generator, and serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "net/topology_builder.hpp"
+#include "trace/catalog.hpp"
+#include "trace/gilbert_elliott.hpp"
+#include "trace/loss_trace.hpp"
+#include "trace/serialization.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/check.hpp"
+
+namespace cesrm::trace {
+namespace {
+
+std::shared_ptr<const net::MulticastTree> small_tree() {
+  return std::make_shared<net::MulticastTree>(
+      net::parse_tree("0(1(3 4) 2(5))"));
+}
+
+// ------------------------------------------------------------ LossTrace ----
+
+TEST(LossTrace, ConstructionAndIndexing) {
+  LossTrace t("T", small_tree(), sim::SimTime::millis(80), 100);
+  EXPECT_EQ(t.receiver_count(), 3u);
+  EXPECT_EQ(t.packet_count(), 100);
+  EXPECT_EQ(t.receiver_node(0), 3);
+  EXPECT_EQ(t.receiver_node(2), 5);
+  EXPECT_EQ(t.receiver_index(4), 1u);
+  EXPECT_THROW(t.receiver_index(1), util::CheckError);  // router
+  EXPECT_EQ(t.duration(), sim::SimTime::seconds(8));
+}
+
+TEST(LossTrace, SetAndQueryLosses) {
+  LossTrace t("T", small_tree(), sim::SimTime::millis(80), 10);
+  EXPECT_FALSE(t.lost(0, 5));
+  t.set_lost(0, 5);
+  t.set_lost(2, 5);
+  EXPECT_TRUE(t.lost(0, 5));
+  EXPECT_TRUE(t.lost_by_node(3, 5));
+  EXPECT_FALSE(t.lost(1, 5));
+  EXPECT_EQ(t.pattern(5), 0b101u);
+  EXPECT_EQ(t.pattern(4), 0u);
+  t.set_lost(0, 5, false);
+  EXPECT_FALSE(t.lost(0, 5));
+}
+
+TEST(LossTrace, AggregateCounters) {
+  LossTrace t("T", small_tree(), sim::SimTime::millis(80), 10);
+  t.set_lost(0, 1);
+  t.set_lost(1, 1);
+  t.set_lost(0, 2);
+  EXPECT_EQ(t.total_losses(), 3u);
+  EXPECT_EQ(t.receiver_losses(0), 2u);
+  EXPECT_EQ(t.receiver_losses(2), 0u);
+  EXPECT_EQ(t.lossy_packets(), 2u);
+  EXPECT_DOUBLE_EQ(t.loss_rate(), 3.0 / 30.0);
+}
+
+TEST(LossTrace, PatternHistogram) {
+  LossTrace t("T", small_tree(), sim::SimTime::millis(80), 10);
+  t.set_lost(0, 1);
+  t.set_lost(0, 2);
+  t.set_lost(1, 3);
+  const auto hist = t.pattern_histogram();
+  EXPECT_EQ(hist.size(), 2u);
+  EXPECT_EQ(hist.at(0b001), 2u);
+  EXPECT_EQ(hist.at(0b010), 1u);
+}
+
+TEST(LossTrace, PatternRepeatFraction) {
+  LossTrace t("T", small_tree(), sim::SimTime::millis(80), 10);
+  // Lossy packets at 1, 2, 3 with patterns A, A, B → 1 repeat out of 2.
+  t.set_lost(0, 1);
+  t.set_lost(0, 2);
+  t.set_lost(1, 3);
+  EXPECT_DOUBLE_EQ(t.pattern_repeat_fraction(), 0.5);
+}
+
+TEST(LossTrace, MeanBurstLength) {
+  LossTrace t("T", small_tree(), sim::SimTime::millis(80), 10);
+  // Receiver 0: bursts of 3 and 1 → 2 bursts, 4 losses.
+  for (net::SeqNo i : {1, 2, 3, 7}) t.set_lost(0, i);
+  EXPECT_DOUBLE_EQ(t.mean_burst_length(), 2.0);
+}
+
+TEST(LossTrace, RejectsOutOfRange) {
+  LossTrace t("T", small_tree(), sim::SimTime::millis(80), 10);
+  EXPECT_THROW(t.set_lost(0, 10), util::CheckError);
+  EXPECT_THROW(t.set_lost(3, 0), util::CheckError);
+}
+
+// ------------------------------------------------------- GilbertElliott ----
+
+TEST(GilbertElliott, FromRateAndBurstRoundTrips) {
+  const auto ge = GilbertElliott::from_rate_and_burst(0.05, 4.0);
+  EXPECT_NEAR(ge.stationary_loss_rate(), 0.05, 1e-12);
+  EXPECT_NEAR(ge.mean_burst_length(), 4.0, 1e-12);
+}
+
+TEST(GilbertElliott, EmpiricalRateMatchesStationary) {
+  auto ge = GilbertElliott::from_rate_and_burst(0.08, 3.0);
+  util::Rng rng(99);
+  int losses = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) losses += ge.step(rng);
+  EXPECT_NEAR(static_cast<double>(losses) / n, 0.08, 0.005);
+}
+
+TEST(GilbertElliott, EmpiricalBurstLengthMatches) {
+  auto ge = GilbertElliott::from_rate_and_burst(0.05, 5.0);
+  util::Rng rng(101);
+  int bursts = 0, losses = 0;
+  bool in_burst = false;
+  for (int i = 0; i < 400000; ++i) {
+    if (ge.step(rng)) {
+      ++losses;
+      if (!in_burst) ++bursts;
+      in_burst = true;
+    } else {
+      in_burst = false;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(losses) / bursts, 5.0, 0.3);
+}
+
+TEST(GilbertElliott, ZeroRateNeverLoses) {
+  auto ge = GilbertElliott::from_rate_and_burst(0.0, 2.0);
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(ge.step(rng));
+}
+
+TEST(GilbertElliott, ResetClearsState) {
+  GilbertElliott ge(1.0, 0.0);  // enters BAD and stays
+  util::Rng rng(1);
+  ge.step(rng);
+  EXPECT_TRUE(ge.in_bad_state());
+  ge.reset();
+  EXPECT_FALSE(ge.in_bad_state());
+}
+
+TEST(GilbertElliott, RejectsInvalidParameters) {
+  EXPECT_THROW(GilbertElliott(-0.1, 0.5), util::CheckError);
+  EXPECT_THROW(GilbertElliott(0.5, 1.5), util::CheckError);
+  EXPECT_THROW(GilbertElliott::from_rate_and_burst(1.0, 2.0),
+               util::CheckError);
+  EXPECT_THROW(GilbertElliott::from_rate_and_burst(0.1, 0.5),
+               util::CheckError);
+}
+
+// -------------------------------------------------------------- catalog ----
+
+TEST(Catalog, HasAllFourteenTraces) {
+  const auto& specs = table1_specs();
+  ASSERT_EQ(specs.size(), 14u);
+  for (int i = 0; i < 14; ++i)
+    EXPECT_EQ(specs[static_cast<std::size_t>(i)].id, i + 1);
+}
+
+TEST(Catalog, Table1RowsMatchPaper) {
+  const auto& t1 = table1_spec(1);
+  EXPECT_EQ(t1.name, "RFV960419");
+  EXPECT_EQ(t1.receivers, 12);
+  EXPECT_EQ(t1.depth, 6);
+  EXPECT_EQ(t1.period_ms, 80);
+  EXPECT_EQ(t1.packets, 45001);
+  EXPECT_EQ(t1.losses, 24086);
+
+  const auto& t3 = table1_spec(3);
+  EXPECT_EQ(t3.name, "UCB960424");
+  EXPECT_EQ(t3.receivers, 15);
+  EXPECT_EQ(t3.depth, 7);
+  EXPECT_EQ(t3.period_ms, 40);
+
+  const auto& t14 = table1_spec(14);
+  EXPECT_EQ(t14.name, "WRN951218");
+  EXPECT_EQ(t14.packets, 69994);
+  EXPECT_EQ(t14.losses, 43578);
+}
+
+TEST(Catalog, DurationMatchesPublishedColumn) {
+  // Table 1 lists e.g. trace 2 as 1:39:19 — implied by 148970 × 40 ms.
+  EXPECT_NEAR(table1_spec(2).duration_seconds(), 5958.8, 0.5);
+  EXPECT_NEAR(table1_spec(1).duration_seconds(), 3600.0, 0.5);
+}
+
+TEST(Catalog, LookupByName) {
+  EXPECT_EQ(table1_spec_by_name("WRN951216").id, 13);
+  EXPECT_THROW(table1_spec_by_name("NOPE"), util::CheckError);
+  EXPECT_THROW(table1_spec(0), util::CheckError);
+  EXPECT_THROW(table1_spec(15), util::CheckError);
+}
+
+// ------------------------------------------------------------ generator ----
+
+TEST(TraceGenerator, MatchesSpecShapeAndLossBudget) {
+  TraceSpec spec;
+  spec.id = 0;
+  spec.name = "GEN";
+  spec.receivers = 9;
+  spec.depth = 4;
+  spec.period_ms = 80;
+  spec.packets = 20000;
+  spec.losses = 9000;  // 5% of receiver-cells
+  spec.seed = 77;
+  const auto gen = generate_trace(spec);
+  ASSERT_NE(gen.loss, nullptr);
+  EXPECT_EQ(static_cast<int>(gen.loss->receiver_count()), 9);
+  EXPECT_EQ(gen.loss->tree().max_depth(), 4);
+  EXPECT_EQ(gen.loss->packet_count(), 20000);
+  // Calibration tolerance is 2%.
+  EXPECT_NEAR(static_cast<double>(gen.loss->total_losses()), 9000.0,
+              0.02 * 9000.0 + 1.0);
+}
+
+TEST(TraceGenerator, DeterministicInSeed) {
+  TraceSpec spec;
+  spec.name = "GEN";
+  spec.receivers = 5;
+  spec.depth = 3;
+  spec.period_ms = 40;
+  spec.packets = 5000;
+  spec.losses = 1000;
+  spec.seed = 123;
+  const auto a = generate_trace(spec);
+  const auto b = generate_trace(spec);
+  EXPECT_EQ(a.loss->tree().to_string(), b.loss->tree().to_string());
+  EXPECT_EQ(a.loss->total_losses(), b.loss->total_losses());
+  for (net::SeqNo i = 0; i < spec.packets; ++i)
+    ASSERT_EQ(a.loss->pattern(i), b.loss->pattern(i)) << "seq " << i;
+}
+
+TEST(TraceGenerator, ProducesBurstyLocality) {
+  TraceSpec spec;
+  spec.name = "GEN";
+  spec.receivers = 8;
+  spec.depth = 4;
+  spec.period_ms = 80;
+  spec.packets = 20000;
+  spec.losses = 8000;
+  spec.seed = 5;
+  const auto gen = generate_trace(spec);
+  // Gilbert–Elliott bursts make consecutive lossy packets repeat their
+  // loss pattern far more often than independent losses would.
+  EXPECT_GT(gen.loss->pattern_repeat_fraction(), 0.3);
+  EXPECT_GT(gen.loss->mean_burst_length(), 1.3);
+}
+
+TEST(TraceGenerator, GroundTruthExplainsEveryLoss) {
+  TraceSpec spec;
+  spec.name = "GEN";
+  spec.receivers = 6;
+  spec.depth = 3;
+  spec.period_ms = 40;
+  spec.packets = 5000;
+  spec.losses = 1500;
+  spec.seed = 11;
+  const auto gen = generate_trace(spec);
+  const auto& tree = gen.loss->tree();
+  ASSERT_EQ(gen.true_drop_links.size(), 5000u);
+  for (net::SeqNo i = 0; i < spec.packets; ++i) {
+    const auto& drops = gen.true_drop_links[static_cast<std::size_t>(i)];
+    for (std::size_t r = 0; r < gen.loss->receiver_count(); ++r) {
+      // A receiver lost the packet iff some dropped link is its ancestor.
+      bool covered = false;
+      for (net::LinkId l : drops)
+        covered |= tree.is_ancestor(l, gen.loss->receiver_node(r));
+      ASSERT_EQ(covered, gen.loss->lost(r, i))
+          << "packet " << i << " receiver " << r;
+    }
+  }
+}
+
+TEST(TraceGenerator, Table1TraceSmoke) {
+  // Generate the smallest Table-1 trace end to end.
+  const auto gen = generate_table1_trace(4);  // WRN950919: 17637 packets
+  const auto& spec = table1_spec(4);
+  EXPECT_EQ(static_cast<int>(gen.loss->receiver_count()), spec.receivers);
+  EXPECT_EQ(gen.loss->tree().max_depth(), spec.depth);
+  EXPECT_NEAR(
+      static_cast<double>(gen.loss->total_losses()),
+      static_cast<double>(spec.losses),
+      0.02 * static_cast<double>(spec.losses) + 1.0);
+}
+
+// -------------------------------------------------------- serialization ----
+
+TEST(Serialization, RoundTripWithTruth) {
+  TraceSpec spec;
+  spec.name = "SER";
+  spec.receivers = 5;
+  spec.depth = 3;
+  spec.period_ms = 40;
+  spec.packets = 2000;
+  spec.losses = 600;
+  spec.seed = 3;
+  const auto gen = generate_trace(spec);
+
+  std::stringstream ss;
+  write_trace(ss, *gen.loss, &gen.true_drop_links);
+  const TraceFile loaded = read_trace(ss);
+
+  EXPECT_EQ(loaded.loss->name(), "SER");
+  EXPECT_EQ(loaded.loss->packet_count(), 2000);
+  EXPECT_EQ(loaded.loss->period(), sim::SimTime::millis(40));
+  EXPECT_EQ(loaded.loss->tree().to_string(), gen.loss->tree().to_string());
+  EXPECT_TRUE(loaded.has_truth());
+  for (net::SeqNo i = 0; i < 2000; ++i) {
+    ASSERT_EQ(loaded.loss->pattern(i), gen.loss->pattern(i)) << "seq " << i;
+    ASSERT_EQ(loaded.true_drop_links[static_cast<std::size_t>(i)],
+              gen.true_drop_links[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(Serialization, RoundTripWithoutTruth) {
+  LossTrace t("NOTRUTH", small_tree(), sim::SimTime::millis(80), 50);
+  t.set_lost(0, 10);
+  t.set_lost(2, 10);
+  t.set_lost(1, 49);
+  std::stringstream ss;
+  write_trace(ss, t);
+  const TraceFile loaded = read_trace(ss);
+  EXPECT_FALSE(loaded.has_truth());
+  EXPECT_EQ(loaded.loss->pattern(10), 0b101u);
+  EXPECT_EQ(loaded.loss->pattern(49), 0b010u);
+  EXPECT_EQ(loaded.loss->total_losses(), 3u);
+}
+
+TEST(Serialization, RejectsCorruptInput) {
+  {
+    std::stringstream ss("not a trace\n");
+    EXPECT_THROW(read_trace(ss), util::CheckError);
+  }
+  {
+    std::stringstream ss("# cesrm-trace v1\nname X\nend\n");
+    EXPECT_THROW(read_trace(ss), util::CheckError);  // missing fields
+  }
+  {
+    // Missing 'end'.
+    std::stringstream ss(
+        "# cesrm-trace v1\nname X\nperiod_ms 40\npackets 2\ntree 0(1 2)\n"
+        "loss 0 2x0\nloss 1 2x0\n");
+    EXPECT_THROW(read_trace(ss), util::CheckError);
+  }
+  {
+    // RLE length mismatch.
+    std::stringstream ss(
+        "# cesrm-trace v1\nname X\nperiod_ms 40\npackets 3\ntree 0(1 2)\n"
+        "loss 0 2x0\nloss 1 3x0\nend\n");
+    EXPECT_THROW(read_trace(ss), util::CheckError);
+  }
+}
+
+TEST(Serialization, FileRoundTrip) {
+  LossTrace t("FILE", small_tree(), sim::SimTime::millis(80), 20);
+  t.set_lost(1, 7);
+  const std::string path = testing::TempDir() + "/cesrm_trace_test.txt";
+  save_trace(path, t);
+  const TraceFile loaded = load_trace(path);
+  EXPECT_EQ(loaded.loss->name(), "FILE");
+  EXPECT_TRUE(loaded.loss->lost(1, 7));
+}
+
+}  // namespace
+}  // namespace cesrm::trace

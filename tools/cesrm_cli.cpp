@@ -1,0 +1,347 @@
+// cesrm_cli — command-line driver for the CESRM reproduction pipeline.
+//
+// Subcommands (the first positional argument):
+//
+//   generate  --trace=N --out=FILE [--packets-cap=K]
+//       Re-create Table-1 trace N (with ground-truth drop links) and save
+//       it to FILE in the text trace format.
+//
+//   inspect   --in=FILE
+//       Print a trace's characteristics: tree, per-receiver loss rates,
+//       loss-pattern histogram, locality statistics.
+//
+//   estimate  --in=FILE [--method=yajnik|minc]
+//       Estimate per-link loss rates from the trace's receiver
+//       observations; with ground truth present, report the estimation
+//       error and the link-combination confidence statistics of §4.2.
+//
+//   simulate  --in=FILE [--protocol=srm|cesrm] [--router-assist]
+//             [--policy=most-recent|most-frequent] [--adaptive]
+//       Replay the trace under one protocol and print the recovery
+//       summary.
+//
+//   compare   --in=FILE
+//       Replay under SRM and CESRM and print the paper's headline
+//       comparison (Figure 1 per-receiver table + Figure 5 numbers).
+
+#include <iostream>
+
+#include <functional>
+
+#include "harness/experiment.hpp"
+#include "harness/reports.hpp"
+#include "infer/link_estimator.hpp"
+#include "infer/link_trace.hpp"
+#include "infer/minc_estimator.hpp"
+#include "lms/lms_agent.hpp"
+#include "trace/catalog.hpp"
+#include "trace/serialization.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/cli.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace cesrm;
+
+int cmd_generate(const util::CliFlags& flags) {
+  const int id = static_cast<int>(flags.get_int("trace"));
+  const std::string out = flags.get_string("out");
+  if (out.empty()) {
+    std::cerr << "generate: --out=FILE is required\n";
+    return 1;
+  }
+  trace::TraceSpec spec = trace::table1_spec(id);
+  const auto cap = flags.get_int("packets-cap");
+  if (cap > 0 && cap < spec.packets) {
+    spec.losses = static_cast<std::int64_t>(
+        static_cast<double>(spec.losses) * static_cast<double>(cap) /
+        static_cast<double>(spec.packets));
+    spec.packets = cap;
+  }
+  std::cout << "generating " << spec.name << " (" << spec.packets
+            << " packets, target " << spec.losses << " losses)...\n";
+  const auto gen = trace::generate_trace(spec);
+  trace::save_trace(out, *gen.loss, &gen.true_drop_links);
+  std::cout << "wrote " << out << ": " << gen.loss->total_losses()
+            << " losses over " << gen.loss->receiver_count()
+            << " receivers (tree " << gen.loss->tree().to_string() << ")\n";
+  return 0;
+}
+
+int cmd_inspect(const util::CliFlags& flags) {
+  const auto file = trace::load_trace(flags.get_string("in"));
+  const auto& t = *file.loss;
+  std::cout << "name:     " << t.name() << "\n"
+            << "tree:     " << t.tree().to_string() << "\n"
+            << "depth:    " << t.tree().max_depth() << "\n"
+            << "period:   " << t.period().to_millis() << " ms\n"
+            << "packets:  " << util::fmt_count(
+                   static_cast<std::uint64_t>(t.packet_count()))
+            << "  duration " << util::fmt_duration_hms(
+                   t.duration().to_seconds())
+            << "\n"
+            << "losses:   " << util::fmt_count(t.total_losses()) << " ("
+            << util::fmt_fixed(100.0 * t.loss_rate(), 2)
+            << "% of receiver-packets)\n"
+            << "locality: " << util::fmt_fixed(
+                   100.0 * t.pattern_repeat_fraction(), 1)
+            << "% pattern repeats, mean burst "
+            << util::fmt_fixed(t.mean_burst_length(), 2) << "\n"
+            << "truth:    " << (file.has_truth() ? "present" : "absent")
+            << "\n\n";
+
+  util::TextTable rx("Per-receiver losses:");
+  rx.set_header({"receiver", "node", "losses", "rate %"});
+  for (std::size_t r = 0; r < t.receiver_count(); ++r) {
+    rx.add_row({std::to_string(r + 1), std::to_string(t.receiver_node(r)),
+                util::fmt_count(t.receiver_losses(r)),
+                util::fmt_fixed(100.0 * static_cast<double>(
+                                            t.receiver_losses(r)) /
+                                    static_cast<double>(t.packet_count()),
+                                2)});
+  }
+  rx.print();
+
+  const auto hist = t.pattern_histogram();
+  util::TextTable pt("\nTop loss patterns (receiver bitmask):");
+  pt.set_header({"pattern", "count"});
+  std::vector<std::pair<std::uint64_t, trace::LossPattern>> sorted;
+  for (const auto& [p, c] : hist) sorted.push_back({c, p});
+  std::sort(sorted.rbegin(), sorted.rend());
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, sorted.size()); ++i) {
+    std::string bits;
+    for (std::size_t r = 0; r < t.receiver_count(); ++r)
+      bits += (sorted[i].second >> r) & 1 ? '1' : '0';
+    pt.add_row({bits, util::fmt_count(sorted[i].first)});
+  }
+  pt.print();
+  return 0;
+}
+
+int cmd_estimate(const util::CliFlags& flags) {
+  const auto file = trace::load_trace(flags.get_string("in"));
+  const auto& t = *file.loss;
+  const std::string method = flags.get_string("method");
+
+  std::vector<double> rates;
+  if (method == "minc") {
+    rates = infer::estimate_links_minc(t).loss_rate;
+  } else if (method == "yajnik") {
+    rates = infer::estimate_links_yajnik(t).loss_rate;
+  } else {
+    std::cerr << "estimate: unknown --method '" << method << "'\n";
+    return 1;
+  }
+
+  util::TextTable est("Per-link loss-rate estimates (" + method + "):");
+  est.set_header({"link", "rate"});
+  for (net::LinkId l : t.tree().links())
+    est.add_row({std::to_string(l),
+                 util::fmt_fixed(rates[static_cast<std::size_t>(l)], 4)});
+  est.print();
+
+  infer::LinkTraceRepresentation links(t, rates);
+  std::cout << "\ncombination confidence: "
+            << util::fmt_fixed(100.0 * links.fraction_confident(0.95), 1)
+            << "% of lossy packets > 95%, "
+            << util::fmt_fixed(100.0 * links.fraction_confident(0.98), 1)
+            << "% > 98%\n";
+  if (file.has_truth()) {
+    std::cout << "ground-truth match: "
+              << util::fmt_fixed(
+                     100.0 * links.truth_match_fraction(file.true_drop_links),
+                     1)
+              << "% of lossy packets attributed to exactly the true links\n";
+  }
+  return 0;
+}
+
+harness::ExperimentConfig config_from_flags(const util::CliFlags& flags) {
+  harness::ExperimentConfig cfg;
+  cfg.cesrm.router_assist = flags.get_bool("router-assist");
+  cfg.cesrm.policy = ::cesrm::cesrm::parse_policy(flags.get_string("policy"));
+  cfg.cesrm.srm.adaptive_timers = flags.get_bool("adaptive");
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  return cfg;
+}
+
+int cmd_simulate(const util::CliFlags& flags) {
+  const auto file = trace::load_trace(flags.get_string("in"));
+  const auto est = infer::estimate_links_yajnik(*file.loss);
+  infer::LinkTraceRepresentation links(*file.loss, est.loss_rate);
+
+  harness::ExperimentConfig cfg = config_from_flags(flags);
+  const std::string protocol = flags.get_string("protocol");
+  if (protocol == "lms") {
+    // LMS needs the shared router directory, so it is driven directly.
+    const auto& tree = file.loss->tree();
+    sim::Simulator sim;
+    net::Network network(sim, tree, cfg.network);
+    lms::LmsDirectory directory(sim, tree, sim::SimTime::seconds(10));
+    lms::LmsConfig lms_cfg;
+    lms_cfg.srm = cfg.cesrm.srm;
+    util::Rng rng(cfg.seed);
+    std::vector<std::unique_ptr<lms::LmsAgent>> agents;
+    std::vector<net::NodeId> member_nodes{tree.root()};
+    for (net::NodeId r : tree.receivers()) member_nodes.push_back(r);
+    for (net::NodeId nid : member_nodes)
+      agents.push_back(std::make_unique<lms::LmsAgent>(
+          sim, network, nid, tree.root(), lms_cfg, directory,
+          rng.fork(static_cast<std::uint64_t>(nid) + 1)));
+    network.set_drop_fn([&](const net::Packet& pkt, net::NodeId from,
+                            net::NodeId to) {
+      if (pkt.type != net::PacketType::kData) return false;
+      if (tree.parent(to) != from) return false;
+      const auto& drops = links.drop_links(pkt.seq);
+      return std::binary_search(drops.begin(), drops.end(), to);
+    });
+    for (auto& agent : agents)
+      agent->start_session(sim::SimTime::millis(rng.uniform_int(0, 999)));
+    const sim::SimTime warmup = sim::SimTime::seconds(5);
+    const net::SeqNo packets = file.loss->packet_count();
+    std::function<void(net::SeqNo)> send_next = [&](net::SeqNo seq) {
+      agents.front()->send_data(seq);
+      if (seq + 1 < packets)
+        sim.schedule_in(file.loss->period(),
+                        [&send_next, seq] { send_next(seq + 1); });
+    };
+    sim.schedule_at(warmup, [&send_next] { send_next(0); });
+    sim.run_until(warmup + file.loss->period() * packets +
+                  sim::SimTime::seconds(60));
+    util::OnlineStats latency;
+    std::uint64_t unrecovered = 0, lms_requests = 0, lms_replies = 0;
+    for (auto& agent : agents) {
+      agent->stop_session();
+      agent->finalize_stats();
+      lms_requests += agent->stats().exp_requests_sent;
+      lms_replies += agent->stats().exp_replies_sent;
+      if (agent->node() == tree.root()) continue;
+      const double rtt =
+          2.0 * network.path_delay(agent->node(), tree.root()).to_seconds();
+      for (const auto& r : agent->stats().recoveries) {
+        if (!r.recovered) {
+          ++unrecovered;
+          continue;
+        }
+        latency.add(r.latency_seconds() / rtt);
+      }
+    }
+    std::cout << "LMS on " << file.loss->name() << ":\n"
+              << "  mean normalized recovery time: "
+              << util::fmt_fixed(latency.mean(), 3) << " RTT\n"
+              << "  unrecovered " << util::fmt_count(unrecovered)
+              << ", directed requests " << util::fmt_count(lms_requests)
+              << ", subcast replies " << util::fmt_count(lms_replies)
+              << ", redesignations " << directory.redesignations() << "\n";
+    return 0;
+  }
+  if (protocol == "srm") {
+    cfg.protocol = harness::Protocol::kSrm;
+  } else if (protocol == "cesrm") {
+    cfg.protocol = harness::Protocol::kCesrm;
+  } else {
+    std::cerr << "simulate: unknown --protocol '" << protocol << "'\n";
+    return 1;
+  }
+  const auto result = harness::run_experiment(*file.loss, links, cfg);
+
+  std::cout << protocol_name(cfg.protocol) << " on " << file.loss->name()
+            << ":\n"
+            << "  mean normalized recovery time: "
+            << util::fmt_fixed(result.mean_normalized_recovery_time(), 3)
+            << " RTT\n"
+            << "  losses detected " << util::fmt_count(
+                   result.total_losses_detected())
+            << ", silent repairs " << util::fmt_count(
+                   result.total_silent_repairs())
+            << ", unrecovered " << util::fmt_count(result.total_unrecovered())
+            << "\n"
+            << "  requests " << util::fmt_count(result.total_requests_sent())
+            << " multicast + " << util::fmt_count(
+                   result.total_exp_requests_sent())
+            << " expedited unicast\n"
+            << "  replies  " << util::fmt_count(result.total_replies_sent())
+            << " multicast + " << util::fmt_count(
+                   result.total_exp_replies_sent())
+            << " expedited\n"
+            << "  events executed " << util::fmt_count(result.events_executed)
+            << "\n";
+  return 0;
+}
+
+int cmd_compare(const util::CliFlags& flags) {
+  const auto file = trace::load_trace(flags.get_string("in"));
+  const auto est = infer::estimate_links_yajnik(*file.loss);
+  infer::LinkTraceRepresentation links(*file.loss, est.loss_rate);
+
+  harness::ExperimentConfig cfg = config_from_flags(flags);
+  cfg.protocol = harness::Protocol::kSrm;
+  const auto srm = harness::run_experiment(*file.loss, links, cfg);
+  cfg.protocol = harness::Protocol::kCesrm;
+  const auto cesrm = harness::run_experiment(*file.loss, links, cfg);
+
+  util::TextTable table("Per-receiver avg normalized recovery time (RTTs):");
+  table.set_header({"receiver", "SRM", "CESRM", "CESRM/SRM"});
+  for (const auto& row : harness::figure1(srm, cesrm)) {
+    table.add_row({std::to_string(row.receiver),
+                   util::fmt_fixed(row.srm_avg_norm, 3),
+                   util::fmt_fixed(row.cesrm_avg_norm, 3),
+                   row.srm_avg_norm > 0 ? util::fmt_fixed(row.ratio(), 3)
+                                        : "-"});
+  }
+  table.print();
+
+  const auto f5 = harness::figure5(srm, cesrm);
+  std::cout << "\nexpedited success "
+            << util::fmt_fixed(f5.pct_successful_expedited, 1)
+            << "%; retransmission overhead "
+            << util::fmt_fixed(f5.retransmission_pct_of_srm, 1)
+            << "% of SRM; control overhead "
+            << util::fmt_fixed(f5.total_control_pct_of_srm(), 1)
+            << "% of SRM ("
+            << util::fmt_fixed(f5.control_unicast_pct_of_srm, 1)
+            << " points unicast)\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::CliFlags flags(
+      "cesrm_cli — generate/inspect/estimate/simulate/compare CESRM traces");
+  flags.add_int("trace", 1, "Table-1 trace id for 'generate'");
+  flags.add_int("packets-cap", 0, "cap packets when generating (0 = full)");
+  flags.add_string("out", "", "output trace file for 'generate'");
+  flags.add_string("in", "", "input trace file");
+  flags.add_string("method", "yajnik", "estimator: yajnik | minc");
+  flags.add_string("protocol", "cesrm", "protocol for 'simulate': srm | cesrm | lms");
+  flags.add_string("policy", "most-recent",
+                   "expedition policy: most-recent | most-frequent");
+  flags.add_bool("router-assist", false, "enable §3.3 router assistance");
+  flags.add_bool("adaptive", false, "enable adaptive SRM timers");
+  flags.add_int("seed", 1, "experiment seed");
+  if (!flags.parse(argc, argv)) return 1;
+
+  if (flags.positional().size() != 1) {
+    std::cerr << "usage: cesrm_cli <generate|inspect|estimate|simulate|"
+                 "compare> [flags]\n"
+              << flags.usage();
+    return 1;
+  }
+  const std::string& cmd = flags.positional()[0];
+  try {
+    if (cmd == "generate") return cmd_generate(flags);
+    if (cmd == "inspect") return cmd_inspect(flags);
+    if (cmd == "estimate") return cmd_estimate(flags);
+    if (cmd == "simulate") return cmd_simulate(flags);
+    if (cmd == "compare") return cmd_compare(flags);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cerr << "unknown command: " << cmd << "\n";
+  return 1;
+}

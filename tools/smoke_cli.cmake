@@ -1,0 +1,16 @@
+# Drives the cesrm_cli subcommands end to end; any non-zero exit fails.
+set(trace_file ${WORK}/smoke.trace)
+foreach(args
+    "generate;--trace=4;--packets-cap=2500;--out=${trace_file}"
+    "inspect;--in=${trace_file}"
+    "estimate;--in=${trace_file};--method=yajnik"
+    "estimate;--in=${trace_file};--method=minc"
+    "simulate;--in=${trace_file};--protocol=srm"
+    "simulate;--in=${trace_file};--protocol=cesrm;--router-assist"
+    "simulate;--in=${trace_file};--protocol=lms"
+    "compare;--in=${trace_file}")
+  execute_process(COMMAND ${CLI} ${args} RESULT_VARIABLE rc OUTPUT_QUIET)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "cesrm_cli ${args} failed with ${rc}")
+  endif()
+endforeach()
