@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_lossy.dir/bench_ablation_lossy.cpp.o"
+  "CMakeFiles/bench_ablation_lossy.dir/bench_ablation_lossy.cpp.o.d"
+  "bench_ablation_lossy"
+  "bench_ablation_lossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

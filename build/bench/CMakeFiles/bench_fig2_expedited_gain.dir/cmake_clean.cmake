@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_expedited_gain.dir/bench_fig2_expedited_gain.cpp.o"
+  "CMakeFiles/bench_fig2_expedited_gain.dir/bench_fig2_expedited_gain.cpp.o.d"
+  "bench_fig2_expedited_gain"
+  "bench_fig2_expedited_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_expedited_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_replies.dir/bench_fig4_replies.cpp.o"
+  "CMakeFiles/bench_fig4_replies.dir/bench_fig4_replies.cpp.o.d"
+  "bench_fig4_replies"
+  "bench_fig4_replies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_replies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lms.dir/bench_lms.cpp.o"
+  "CMakeFiles/bench_lms.dir/bench_lms.cpp.o.d"
+  "bench_lms"
+  "bench_lms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_router_assist.dir/bench_router_assist.cpp.o"
+  "CMakeFiles/bench_router_assist.dir/bench_router_assist.cpp.o.d"
+  "bench_router_assist"
+  "bench_router_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_router_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

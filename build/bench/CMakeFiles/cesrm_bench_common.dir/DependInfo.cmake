@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_common.cpp" "bench/CMakeFiles/cesrm_bench_common.dir/bench_common.cpp.o" "gcc" "bench/CMakeFiles/cesrm_bench_common.dir/bench_common.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/cesrm_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/lms/CMakeFiles/cesrm_lms.dir/DependInfo.cmake"
+  "/root/repo/build/src/cesrm/CMakeFiles/cesrm_cesrm.dir/DependInfo.cmake"
+  "/root/repo/build/src/infer/CMakeFiles/cesrm_infer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cesrm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/srm/CMakeFiles/cesrm_srm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cesrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cesrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cesrm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

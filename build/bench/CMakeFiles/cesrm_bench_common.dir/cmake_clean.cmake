@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/cesrm_bench_common.dir/bench_common.cpp.o.d"
+  "libcesrm_bench_common.a"
+  "libcesrm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mbone_audio_session.dir/mbone_audio_session.cpp.o"
+  "CMakeFiles/mbone_audio_session.dir/mbone_audio_session.cpp.o.d"
+  "mbone_audio_session"
+  "mbone_audio_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mbone_audio_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

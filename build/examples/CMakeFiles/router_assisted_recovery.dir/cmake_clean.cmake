@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_assisted_recovery.dir/router_assisted_recovery.cpp.o"
+  "CMakeFiles/router_assisted_recovery.dir/router_assisted_recovery.cpp.o.d"
+  "router_assisted_recovery"
+  "router_assisted_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_assisted_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for router_assisted_recovery.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_api.dir/session.cpp.o"
+  "CMakeFiles/cesrm_api.dir/session.cpp.o.d"
+  "libcesrm_api.a"
+  "libcesrm_api.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_cesrm.dir/cache.cpp.o"
+  "CMakeFiles/cesrm_cesrm.dir/cache.cpp.o.d"
+  "CMakeFiles/cesrm_cesrm.dir/cesrm_agent.cpp.o"
+  "CMakeFiles/cesrm_cesrm.dir/cesrm_agent.cpp.o.d"
+  "CMakeFiles/cesrm_cesrm.dir/policy.cpp.o"
+  "CMakeFiles/cesrm_cesrm.dir/policy.cpp.o.d"
+  "libcesrm_cesrm.a"
+  "libcesrm_cesrm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_cesrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

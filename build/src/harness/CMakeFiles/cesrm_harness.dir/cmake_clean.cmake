@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_harness.dir/experiment.cpp.o"
+  "CMakeFiles/cesrm_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/cesrm_harness.dir/reports.cpp.o"
+  "CMakeFiles/cesrm_harness.dir/reports.cpp.o.d"
+  "libcesrm_harness.a"
+  "libcesrm_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/infer/combination_solver.cpp" "src/infer/CMakeFiles/cesrm_infer.dir/combination_solver.cpp.o" "gcc" "src/infer/CMakeFiles/cesrm_infer.dir/combination_solver.cpp.o.d"
+  "/root/repo/src/infer/link_estimator.cpp" "src/infer/CMakeFiles/cesrm_infer.dir/link_estimator.cpp.o" "gcc" "src/infer/CMakeFiles/cesrm_infer.dir/link_estimator.cpp.o.d"
+  "/root/repo/src/infer/link_trace.cpp" "src/infer/CMakeFiles/cesrm_infer.dir/link_trace.cpp.o" "gcc" "src/infer/CMakeFiles/cesrm_infer.dir/link_trace.cpp.o.d"
+  "/root/repo/src/infer/minc_estimator.cpp" "src/infer/CMakeFiles/cesrm_infer.dir/minc_estimator.cpp.o" "gcc" "src/infer/CMakeFiles/cesrm_infer.dir/minc_estimator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/cesrm_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cesrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cesrm_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cesrm_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_infer.dir/combination_solver.cpp.o"
+  "CMakeFiles/cesrm_infer.dir/combination_solver.cpp.o.d"
+  "CMakeFiles/cesrm_infer.dir/link_estimator.cpp.o"
+  "CMakeFiles/cesrm_infer.dir/link_estimator.cpp.o.d"
+  "CMakeFiles/cesrm_infer.dir/link_trace.cpp.o"
+  "CMakeFiles/cesrm_infer.dir/link_trace.cpp.o.d"
+  "CMakeFiles/cesrm_infer.dir/minc_estimator.cpp.o"
+  "CMakeFiles/cesrm_infer.dir/minc_estimator.cpp.o.d"
+  "libcesrm_infer.a"
+  "libcesrm_infer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_lms.dir/directory.cpp.o"
+  "CMakeFiles/cesrm_lms.dir/directory.cpp.o.d"
+  "CMakeFiles/cesrm_lms.dir/lms_agent.cpp.o"
+  "CMakeFiles/cesrm_lms.dir/lms_agent.cpp.o.d"
+  "libcesrm_lms.a"
+  "libcesrm_lms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_lms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

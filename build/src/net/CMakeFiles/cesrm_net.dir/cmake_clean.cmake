@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_net.dir/network.cpp.o"
+  "CMakeFiles/cesrm_net.dir/network.cpp.o.d"
+  "CMakeFiles/cesrm_net.dir/packet.cpp.o"
+  "CMakeFiles/cesrm_net.dir/packet.cpp.o.d"
+  "CMakeFiles/cesrm_net.dir/topology.cpp.o"
+  "CMakeFiles/cesrm_net.dir/topology.cpp.o.d"
+  "CMakeFiles/cesrm_net.dir/topology_builder.cpp.o"
+  "CMakeFiles/cesrm_net.dir/topology_builder.cpp.o.d"
+  "libcesrm_net.a"
+  "libcesrm_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/cesrm_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/cesrm_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cesrm_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/cesrm_sim.dir/timer.cpp.o"
+  "CMakeFiles/cesrm_sim.dir/timer.cpp.o.d"
+  "libcesrm_sim.a"
+  "libcesrm_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_srm.dir/adaptive.cpp.o"
+  "CMakeFiles/cesrm_srm.dir/adaptive.cpp.o.d"
+  "CMakeFiles/cesrm_srm.dir/session.cpp.o"
+  "CMakeFiles/cesrm_srm.dir/session.cpp.o.d"
+  "CMakeFiles/cesrm_srm.dir/srm_agent.cpp.o"
+  "CMakeFiles/cesrm_srm.dir/srm_agent.cpp.o.d"
+  "libcesrm_srm.a"
+  "libcesrm_srm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_srm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

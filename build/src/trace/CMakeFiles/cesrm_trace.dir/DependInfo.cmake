@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/catalog.cpp" "src/trace/CMakeFiles/cesrm_trace.dir/catalog.cpp.o" "gcc" "src/trace/CMakeFiles/cesrm_trace.dir/catalog.cpp.o.d"
+  "/root/repo/src/trace/gilbert_elliott.cpp" "src/trace/CMakeFiles/cesrm_trace.dir/gilbert_elliott.cpp.o" "gcc" "src/trace/CMakeFiles/cesrm_trace.dir/gilbert_elliott.cpp.o.d"
+  "/root/repo/src/trace/loss_trace.cpp" "src/trace/CMakeFiles/cesrm_trace.dir/loss_trace.cpp.o" "gcc" "src/trace/CMakeFiles/cesrm_trace.dir/loss_trace.cpp.o.d"
+  "/root/repo/src/trace/serialization.cpp" "src/trace/CMakeFiles/cesrm_trace.dir/serialization.cpp.o" "gcc" "src/trace/CMakeFiles/cesrm_trace.dir/serialization.cpp.o.d"
+  "/root/repo/src/trace/trace_generator.cpp" "src/trace/CMakeFiles/cesrm_trace.dir/trace_generator.cpp.o" "gcc" "src/trace/CMakeFiles/cesrm_trace.dir/trace_generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/cesrm_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cesrm_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cesrm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

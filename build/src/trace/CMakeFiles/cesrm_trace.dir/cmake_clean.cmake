@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_trace.dir/catalog.cpp.o"
+  "CMakeFiles/cesrm_trace.dir/catalog.cpp.o.d"
+  "CMakeFiles/cesrm_trace.dir/gilbert_elliott.cpp.o"
+  "CMakeFiles/cesrm_trace.dir/gilbert_elliott.cpp.o.d"
+  "CMakeFiles/cesrm_trace.dir/loss_trace.cpp.o"
+  "CMakeFiles/cesrm_trace.dir/loss_trace.cpp.o.d"
+  "CMakeFiles/cesrm_trace.dir/serialization.cpp.o"
+  "CMakeFiles/cesrm_trace.dir/serialization.cpp.o.d"
+  "CMakeFiles/cesrm_trace.dir/trace_generator.cpp.o"
+  "CMakeFiles/cesrm_trace.dir/trace_generator.cpp.o.d"
+  "libcesrm_trace.a"
+  "libcesrm_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_util.dir/cli.cpp.o"
+  "CMakeFiles/cesrm_util.dir/cli.cpp.o.d"
+  "CMakeFiles/cesrm_util.dir/logging.cpp.o"
+  "CMakeFiles/cesrm_util.dir/logging.cpp.o.d"
+  "CMakeFiles/cesrm_util.dir/rng.cpp.o"
+  "CMakeFiles/cesrm_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cesrm_util.dir/stats.cpp.o"
+  "CMakeFiles/cesrm_util.dir/stats.cpp.o.d"
+  "CMakeFiles/cesrm_util.dir/strings.cpp.o"
+  "CMakeFiles/cesrm_util.dir/strings.cpp.o.d"
+  "CMakeFiles/cesrm_util.dir/table.cpp.o"
+  "CMakeFiles/cesrm_util.dir/table.cpp.o.d"
+  "libcesrm_util.a"
+  "libcesrm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcesrm_util.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cesrm.dir/test_cesrm.cpp.o"
+  "CMakeFiles/test_cesrm.dir/test_cesrm.cpp.o.d"
+  "test_cesrm"
+  "test_cesrm.pdb"
+  "test_cesrm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cesrm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

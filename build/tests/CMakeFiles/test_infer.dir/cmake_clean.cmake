@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_infer.dir/test_infer.cpp.o"
+  "CMakeFiles/test_infer.dir/test_infer.cpp.o.d"
+  "test_infer"
+  "test_infer.pdb"
+  "test_infer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_infer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

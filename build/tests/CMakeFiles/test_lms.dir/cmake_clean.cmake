@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lms.dir/test_lms.cpp.o"
+  "CMakeFiles/test_lms.dir/test_lms.cpp.o.d"
+  "test_lms"
+  "test_lms.pdb"
+  "test_lms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

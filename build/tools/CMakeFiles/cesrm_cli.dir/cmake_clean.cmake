@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cesrm_cli.dir/cesrm_cli.cpp.o"
+  "CMakeFiles/cesrm_cli.dir/cesrm_cli.cpp.o.d"
+  "cesrm_cli"
+  "cesrm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cesrm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
