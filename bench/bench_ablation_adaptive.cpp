@@ -33,23 +33,40 @@ int main(int argc, char** argv) {
   table.set_align(0, util::Align::kLeft);
   table.set_align(1, util::Align::kLeft);
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
+  // Three jobs per trace (fixed SRM, adaptive SRM, CESRM), one shared
+  // generation + inference via the runner's trace cache.
+  const auto specs = bench::selected_specs(opts);
+  std::vector<harness::ExperimentJob> jobs;
+  for (const auto& spec : specs) {
+    harness::ExperimentJob fixed_job;
+    fixed_job.spec = spec;
+    fixed_job.protocol = Protocol::kSrm;
+    fixed_job.config = opts.base;
+    fixed_job.label = "fixed";
+    jobs.push_back(std::move(fixed_job));
 
-    // One generation + inference, three protocol runs.
-    const auto gen = trace::generate_trace(spec);
-    const auto estimate = infer::estimate_links_yajnik(*gen.loss);
-    infer::LinkTraceRepresentation links(*gen.loss, estimate.loss_rate);
+    harness::ExperimentJob adaptive_job;
+    adaptive_job.spec = spec;
+    adaptive_job.protocol = Protocol::kSrm;
+    adaptive_job.config = opts.base;
+    adaptive_job.config.cesrm.srm.adaptive_timers = true;
+    adaptive_job.label = "adaptive";
+    jobs.push_back(std::move(adaptive_job));
 
-    harness::ExperimentConfig cfg = opts.base;
-    cfg.protocol = harness::Protocol::kSrm;
-    const auto fixed = harness::run_experiment(*gen.loss, links, cfg);
-    cfg.cesrm.srm.adaptive_timers = true;
-    const auto adaptive = harness::run_experiment(*gen.loss, links, cfg);
-    cfg.cesrm.srm.adaptive_timers = false;
-    cfg.protocol = harness::Protocol::kCesrm;
-    const auto cesrm = harness::run_experiment(*gen.loss, links, cfg);
+    harness::ExperimentJob cesrm_job;
+    cesrm_job.spec = spec;
+    cesrm_job.protocol = Protocol::kCesrm;
+    cesrm_job.config = opts.base;
+    jobs.push_back(std::move(cesrm_job));
+  }
+
+  harness::JsonResultSink sink;
+  const auto outcomes = bench::run_jobs(std::move(jobs), opts, &sink);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    const auto& fixed = outcomes[i * 3].result;
+    const auto& adaptive = outcomes[i * 3 + 1].result;
+    const auto& cesrm = outcomes[i * 3 + 2].result;
 
     const double base = fixed.mean_normalized_recovery_time();
     auto row = [&](const char* label, const harness::ExperimentResult& r,
@@ -74,5 +91,6 @@ int main(int argc, char** argv) {
                "latency — it slides along SRM's latency/duplicates "
                "trade-off curve,\nwhile CESRM's caching steps off that "
                "curve entirely)\n";
+  bench::write_json(opts, sink);
   return 0;
 }

@@ -24,29 +24,49 @@ int main(int argc, char** argv) {
   table.set_align(0, util::Align::kLeft);
   table.set_align(1, util::Align::kLeft);
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
+  // Four jobs per trace: {lossless, lossy} × {SRM, CESRM}. Lossy recovery
+  // changes both protocols, so no run can be shared across modes.
+  const auto specs = bench::selected_specs(opts);
+  std::vector<harness::ExperimentJob> jobs;
+  for (const auto& spec : specs) {
     for (const bool lossy : {false, true}) {
-      harness::ExperimentConfig cfg = opts.base;
-      cfg.lossy_recovery = lossy;
-      cfg.drain = sim::SimTime::seconds(60);
-      const auto run = bench::run_trace(spec, cfg);
-      const double srm = run.srm.mean_normalized_recovery_time();
-      const double ces = run.cesrm.mean_normalized_recovery_time();
-      const auto f5 = harness::figure5(run.srm, run.cesrm);
+      for (const auto protocol : {Protocol::kSrm, Protocol::kCesrm}) {
+        harness::ExperimentJob job;
+        job.spec = spec;
+        job.protocol = protocol;
+        job.config = opts.base;
+        job.config.lossy_recovery = lossy;
+        job.config.drain = sim::SimTime::seconds(60);
+        job.label = lossy ? "lossy" : "lossless";
+        jobs.push_back(std::move(job));
+      }
+    }
+  }
+
+  harness::JsonResultSink sink;
+  const auto outcomes = bench::run_jobs(std::move(jobs), opts, &sink);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    for (int mode = 0; mode < 2; ++mode) {
+      const bool lossy = mode == 1;
+      const auto& srm_result = outcomes[i * 4 + mode * 2].result;
+      const auto& cesrm_result = outcomes[i * 4 + mode * 2 + 1].result;
+      const double srm = srm_result.mean_normalized_recovery_time();
+      const double ces = cesrm_result.mean_normalized_recovery_time();
+      const auto f5 = harness::figure5(srm_result, cesrm_result);
       table.add_row(
           {lossy ? "" : spec.name, lossy ? "lossy" : "lossless",
            util::fmt_fixed(srm, 3), util::fmt_fixed(ces, 3),
            srm > 0 ? util::fmt_fixed(100.0 * ces / srm, 1) : "-",
            util::fmt_fixed(f5.pct_successful_expedited, 1),
-           util::fmt_count(run.srm.total_unrecovered() +
-                           run.cesrm.total_unrecovered())});
+           util::fmt_count(srm_result.total_unrecovered() +
+                           cesrm_result.total_unrecovered())});
     }
     table.add_rule();
   }
   table.print();
   std::cout << "\n(paper: with lossy recovery, latencies are slightly "
                "larger and CESRM exhibits similar\nimprovements over SRM)\n";
+  bench::write_json(opts, sink);
   return 0;
 }

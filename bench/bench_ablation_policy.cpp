@@ -5,6 +5,7 @@
 // requestor/replier cache capacity (most-recent needs only 1 entry).
 
 #include <iostream>
+#include <iterator>
 
 #include "bench_common.hpp"
 
@@ -39,22 +40,45 @@ int main(int argc, char** argv) {
   table.set_align(0, util::Align::kLeft);
   table.set_align(1, util::Align::kLeft);
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    bool first = true;
-    double srm_latency = 0.0;
+  // One SRM reference job plus one CESRM job per variant, per trace; the
+  // SRM protocol never reads the policy/capacity knobs, so one reference
+  // run stands in for all variants.
+  const auto specs = bench::selected_specs(opts);
+  constexpr std::size_t kVariants = std::size(variants);
+  std::vector<harness::ExperimentJob> jobs;
+  for (const auto& spec : specs) {
+    harness::ExperimentJob srm_job;
+    srm_job.spec = spec;
+    srm_job.protocol = Protocol::kSrm;
+    srm_job.config = opts.base;
+    jobs.push_back(std::move(srm_job));
     for (const auto& v : variants) {
-      harness::ExperimentConfig cfg = opts.base;
-      cfg.cesrm.policy = v.policy;
-      cfg.cesrm.cache_capacity = v.capacity;
-      const auto run = bench::run_trace(spec, cfg);
-      if (first) srm_latency = run.srm.mean_normalized_recovery_time();
+      harness::ExperimentJob job;
+      job.spec = spec;
+      job.protocol = Protocol::kCesrm;
+      job.config = opts.base;
+      job.config.cesrm.policy = v.policy;
+      job.config.cesrm.cache_capacity = v.capacity;
+      job.label = v.label;
+      jobs.push_back(std::move(job));
+    }
+  }
 
-      const double latency = run.cesrm.mean_normalized_recovery_time();
-      const auto f5 = harness::figure5(run.srm, run.cesrm);
+  harness::JsonResultSink sink;
+  const auto outcomes = bench::run_jobs(std::move(jobs), opts, &sink);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    const auto& srm = outcomes[i * (kVariants + 1)].result;
+    const double srm_latency = srm.mean_normalized_recovery_time();
+    bool first = true;
+    for (std::size_t j = 0; j < kVariants; ++j) {
+      const auto& v = variants[j];
+      const auto& cesrm = outcomes[i * (kVariants + 1) + 1 + j].result;
+
+      const double latency = cesrm.mean_normalized_recovery_time();
+      const auto f5 = harness::figure5(srm, cesrm);
       std::uint64_t expedited = 0, recovered = 0;
-      for (const auto& m : run.cesrm.members)
+      for (const auto& m : cesrm.members)
         for (const auto& r : m.stats.recoveries) {
           recovered += r.recovered ? 1 : 0;
           expedited += (r.recovered && r.expedited) ? 1 : 0;
@@ -78,5 +102,6 @@ int main(int argc, char** argv) {
                "most-frequent because loss location\ncorrelates most with "
                "the most recent loss; most-recent needs a cache of just "
                "one entry)\n";
+  bench::write_json(opts, sink);
   return 0;
 }

@@ -39,10 +39,9 @@ int main(int argc, char** argv) {
                     "CESRM exp avg (RTT)", "gain (RTT)", "within band?"});
   table.set_align(0, util::Align::kLeft);
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    const auto run = bench::run_trace(spec, opts.base);
+  harness::JsonResultSink sink;
+  for (const auto& run : bench::run_traces(opts, &sink)) {
+    const auto& spec = run.spec;
 
     // Average normalized latency of *first-round* SRM recoveries.
     util::OnlineStats srm_first_round;
@@ -72,5 +71,6 @@ int main(int argc, char** argv) {
   table.print();
   std::cout << "\n(paper: SRM first-round averages lie in [1.5, 3.25] RTT; "
                "expedited gains in [1, 2.5] RTT)\n";
+  bench::write_json(opts, sink);
   return 0;
 }

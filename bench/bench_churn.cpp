@@ -30,6 +30,15 @@ struct PhaseStats {
   std::uint64_t recovered = 0;
 };
 
+// Everything one trace's churn simulation reports; collected per trace so
+// the simulations can fan out over worker threads and print in order.
+struct ChurnOutcome {
+  PhaseStats before, after;
+  std::uint64_t unrecovered = 0;
+  std::uint64_t erqst_total = 0;
+  std::uint64_t erepl_total = 0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,9 +59,14 @@ int main(int argc, char** argv) {
   table.set_align(0, util::Align::kLeft);
   table.set_align(1, util::Align::kLeft);
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
+  // The churn scenario needs custom event scheduling (mid-run fail()
+  // calls), so it keeps its hand-built simulation loop and fans the
+  // independent per-trace simulations out over --jobs worker threads.
+  const auto specs = bench::selected_specs(opts);
+  std::vector<ChurnOutcome> results(specs.size());
+  harness::parallel_for(specs.size(), opts.jobs, [&](std::size_t idx) {
+    const auto& spec = specs[idx];
+    ChurnOutcome& out = results[idx];
     const auto gen = trace::generate_trace(spec);
     const auto est = infer::estimate_links_yajnik(*gen.loss);
     infer::LinkTraceRepresentation links(*gen.loss, est.loss_rate);
@@ -110,38 +124,40 @@ int main(int argc, char** argv) {
     }
 
     // Split recoveries of the *surviving* members by crash time.
-    PhaseStats before, after;
-    std::uint64_t unrecovered = 0;
     for (auto& agent : agents) {
       if (agent->failed() || agent->node() == tree.root()) continue;
       const double rtt =
           2.0 * network.path_delay(agent->node(), tree.root()).to_seconds();
       for (const auto& r : agent->stats().recoveries) {
         if (!r.recovered) {
-          ++unrecovered;
+          ++out.unrecovered;
           continue;
         }
-        PhaseStats& phase = r.detect_time < midpoint ? before : after;
+        PhaseStats& phase = r.detect_time < midpoint ? out.before : out.after;
         ++phase.recovered;
         phase.expedited += r.expedited ? 1 : 0;
         phase.latency.add(r.latency_seconds() / rtt);
       }
     }
-    std::uint64_t erqst_total = 0, erepl_total = 0;
     for (auto& agent : agents) {
-      erqst_total += agent->stats().exp_requests_sent;
-      erepl_total += agent->stats().exp_replies_sent;
+      out.erqst_total += agent->stats().exp_requests_sent;
+      out.erepl_total += agent->stats().exp_replies_sent;
     }
+  });
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    const ChurnOutcome& out = results[i];
     auto add_phase = [&](const char* label, const PhaseStats& p,
                          bool first) {
       table.add_row(
           {first ? spec.name : "", label,
-           first ? util::fmt_fixed(erqst_total
-                                       ? 100.0 * static_cast<double>(
-                                             erepl_total) /
-                                             static_cast<double>(erqst_total)
-                                       : 0.0,
-                                   1)
+           first ? util::fmt_fixed(
+                       out.erqst_total
+                           ? 100.0 * static_cast<double>(out.erepl_total) /
+                                 static_cast<double>(out.erqst_total)
+                           : 0.0,
+                       1)
                  : "\"",
            p.recovered
                ? util::fmt_fixed(100.0 * static_cast<double>(p.expedited) /
@@ -149,10 +165,10 @@ int main(int argc, char** argv) {
                                  1)
                : "-",
            p.latency.empty() ? "-" : util::fmt_fixed(p.latency.mean(), 3),
-           first ? util::fmt_count(unrecovered) : ""});
+           first ? util::fmt_count(out.unrecovered) : ""});
     };
-    add_phase("pre-crash", before, true);
-    add_phase("post-crash", after, false);
+    add_phase("pre-crash", out.before, true);
+    add_phase("post-crash", out.after, false);
     table.add_rule();
   }
   table.print();

@@ -16,6 +16,10 @@ void add_common_flags(util::CliFlags& flags,
   flags.add_int("seed", 1, "experiment seed (timer jitter streams)");
   flags.add_bool("lossy-recovery", false,
                  "also drop recovery packets per estimated link rates");
+  flags.add_int("jobs", 0,
+                "parallel experiment workers (0 = hardware concurrency)");
+  flags.add_string("json", "",
+                   "also write machine-readable results to this file");
 }
 
 bool read_common_flags(const util::CliFlags& flags, BenchOptions* out) {
@@ -35,6 +39,13 @@ bool read_common_flags(const util::CliFlags& flags, BenchOptions* out) {
   out->packets_cap = flags.get_int("packets-cap");
   out->link_delay_ms = static_cast<int>(flags.get_int("link-delay-ms"));
   out->seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  const std::int64_t jobs = flags.get_int("jobs");
+  if (jobs < 0) {
+    std::cerr << "bad --jobs: " << jobs << " (want >= 0)\n";
+    return false;
+  }
+  out->jobs = static_cast<unsigned>(jobs);
+  out->json_path = flags.get_string("json");
   out->base.seed = out->seed;
   out->base.network.link_delay = sim::SimTime::millis(out->link_delay_ms);
   out->base.lossy_recovery = flags.get_bool("lossy-recovery");
@@ -53,19 +64,66 @@ trace::TraceSpec capped_spec(const trace::TraceSpec& spec,
   return scaled;
 }
 
-TraceRun run_trace(const trace::TraceSpec& spec,
-                   harness::ExperimentConfig cfg) {
-  TraceRun run;
-  run.spec = spec;
-  run.gen = trace::generate_trace(spec);
-  const auto estimate = infer::estimate_links_yajnik(*run.gen.loss);
-  run.links = std::make_unique<infer::LinkTraceRepresentation>(
-      *run.gen.loss, estimate.loss_rate);
-  cfg.protocol = harness::Protocol::kSrm;
-  run.srm = harness::run_experiment(*run.gen.loss, *run.links, cfg);
-  cfg.protocol = harness::Protocol::kCesrm;
-  run.cesrm = harness::run_experiment(*run.gen.loss, *run.links, cfg);
-  return run;
+std::vector<trace::TraceSpec> selected_specs(const BenchOptions& opts) {
+  std::vector<trace::TraceSpec> specs;
+  specs.reserve(opts.trace_ids.size());
+  for (int id : opts.trace_ids)
+    specs.push_back(capped_spec(trace::table1_spec(id), opts.packets_cap));
+  return specs;
+}
+
+harness::ExperimentRunner make_runner(const BenchOptions& opts) {
+  harness::RunnerOptions runner_opts;
+  runner_opts.jobs = opts.jobs;
+  // Progress goes to stderr so stdout is byte-identical for any --jobs.
+  runner_opts.on_progress = [](const harness::JobOutcome& outcome,
+                               std::size_t done, std::size_t total) {
+    std::cerr << "[" << done << "/" << total << "] "
+              << protocol_name(outcome.protocol) << " "
+              << outcome.result.trace_name;
+    if (!outcome.label.empty()) std::cerr << " (" << outcome.label << ")";
+    std::cerr << ": " << util::fmt_fixed(outcome.wall_seconds, 1) << "s\n";
+  };
+  return harness::ExperimentRunner(std::move(runner_opts));
+}
+
+std::vector<harness::JobOutcome> run_jobs(
+    std::vector<harness::ExperimentJob> jobs, const BenchOptions& opts,
+    harness::JsonResultSink* sink) {
+  harness::ExperimentRunner runner = make_runner(opts);
+  auto outcomes = runner.run(std::move(jobs));
+  if (sink != nullptr)
+    for (const auto& outcome : outcomes)
+      sink->add(outcome.result, outcome.wall_seconds, outcome.label);
+  return outcomes;
+}
+
+std::vector<TraceRun> run_traces(const BenchOptions& opts,
+                                 harness::JsonResultSink* sink) {
+  const auto specs = selected_specs(opts);
+  std::vector<harness::ExperimentJob> jobs;
+  jobs.reserve(specs.size() * 2);
+  for (const auto& spec : specs) {
+    for (const Protocol protocol : {Protocol::kSrm, Protocol::kCesrm}) {
+      harness::ExperimentJob job;
+      job.spec = spec;
+      job.protocol = protocol;
+      job.config = opts.base;
+      jobs.push_back(std::move(job));
+    }
+  }
+  auto outcomes = run_jobs(std::move(jobs), opts, sink);
+  std::vector<TraceRun> runs;
+  runs.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    TraceRun run;
+    run.spec = specs[i];
+    run.trace = outcomes[2 * i].trace;
+    run.srm = std::move(outcomes[2 * i].result);
+    run.cesrm = std::move(outcomes[2 * i + 1].result);
+    runs.push_back(std::move(run));
+  }
+  return runs;
 }
 
 void print_header(const std::string& what, const BenchOptions& opts) {
@@ -79,6 +137,17 @@ void print_header(const std::string& what, const BenchOptions& opts) {
     std::cout << "  packets capped at " << opts.packets_cap;
   if (opts.base.lossy_recovery) std::cout << "  (lossy recovery)";
   std::cout << "\n\n";
+}
+
+void write_json(const BenchOptions& opts,
+                const harness::JsonResultSink& sink) {
+  if (opts.json_path.empty()) return;
+  if (sink.write_file(opts.json_path)) {
+    std::cerr << "wrote " << sink.size() << " results to " << opts.json_path
+              << "\n";
+  } else {
+    std::cerr << "error: could not write " << opts.json_path << "\n";
+  }
 }
 
 }  // namespace cesrm::bench

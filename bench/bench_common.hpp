@@ -2,9 +2,14 @@
 //
 // Every bench reenacts Table-1 traces: generate (§4.1 substitute), infer
 // drop links (§4.2), run SRM and CESRM (§4.3), and print the series the
-// corresponding paper figure plots. The common flags let a user trim the
-// sweep (--traces=1,4,7), cap packets per trace (--packets-cap=20000) for
-// quick runs, or change the link delay (§4.3 ran 10/20/30 ms).
+// corresponding paper figure plots. All benches sweep through the parallel
+// ExperimentRunner: traces are generated once into a shared cache and the
+// (trace × protocol × variant) jobs fan out over --jobs worker threads
+// (default: hardware concurrency). Results are deterministic and
+// byte-identical for any --jobs value, including 1. The common flags let a
+// user trim the sweep (--traces=1,4,7), cap packets per trace
+// (--packets-cap=20000), change the link delay (§4.3 ran 10/20/30 ms), or
+// dump machine-readable results (--json=FILE).
 #pragma once
 
 #include <string>
@@ -12,6 +17,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/reports.hpp"
+#include "harness/runner.hpp"
 #include "infer/link_trace.hpp"
 #include "trace/catalog.hpp"
 #include "trace/trace_generator.hpp"
@@ -21,13 +27,16 @@
 
 namespace cesrm::bench {
 
-/// Everything one trace-driven comparison produces.
+/// Everything one trace-driven SRM-vs-CESRM comparison produces. The
+/// prepared trace (generation + inference) is shared, not copied.
 struct TraceRun {
   trace::TraceSpec spec;
-  trace::GeneratedTrace gen;
-  std::unique_ptr<infer::LinkTraceRepresentation> links;
+  std::shared_ptr<const harness::PreparedTrace> trace;
   harness::ExperimentResult srm;
   harness::ExperimentResult cesrm;
+
+  const trace::GeneratedTrace& gen() const { return trace->gen; }
+  const trace::LossTrace& loss() const { return trace->loss(); }
 };
 
 /// Common bench options parsed from the command line.
@@ -36,6 +45,8 @@ struct BenchOptions {
   net::SeqNo packets_cap = 0;      // 0 = full trace
   int link_delay_ms = 20;
   std::uint64_t seed = 1;
+  unsigned jobs = 0;               // worker threads; 0 = hardware
+  std::string json_path;           // --json=FILE ("" = no JSON output)
   harness::ExperimentConfig base;  // assembled from the flags
 };
 
@@ -45,11 +56,26 @@ void add_common_flags(util::CliFlags& flags, const std::string& default_traces);
 /// Builds BenchOptions from parsed flags; returns false on bad input.
 bool read_common_flags(const util::CliFlags& flags, BenchOptions* out);
 
-/// Generates the trace, builds the link trace representation, and runs
-/// both protocols. `cfg` carries protocol/network settings; its protocol
-/// field is overridden per run.
-TraceRun run_trace(const trace::TraceSpec& spec,
-                   harness::ExperimentConfig cfg);
+/// The capped Table-1 specs selected by opts.trace_ids, in order.
+std::vector<trace::TraceSpec> selected_specs(const BenchOptions& opts);
+
+/// An ExperimentRunner configured from opts: --jobs workers and a one-line
+/// per-job progress report on stderr (stdout stays byte-identical for any
+/// jobs count).
+harness::ExperimentRunner make_runner(const BenchOptions& opts);
+
+/// Runs an arbitrary job list on the runner; outcomes come back in job
+/// order. Every outcome is also added to `sink` (if non-null) with its
+/// wall time and label.
+std::vector<harness::JobOutcome> run_jobs(
+    std::vector<harness::ExperimentJob> jobs, const BenchOptions& opts,
+    harness::JsonResultSink* sink = nullptr);
+
+/// The standard sweep: SRM and CESRM over every selected trace, in
+/// parallel, sharing one generation + inference per trace. Results are in
+/// trace order.
+std::vector<TraceRun> run_traces(const BenchOptions& opts,
+                                 harness::JsonResultSink* sink = nullptr);
 
 /// Applies the packet cap to a spec by scaling the published loss budget
 /// proportionally (so loss *rates* are preserved).
@@ -58,5 +84,9 @@ trace::TraceSpec capped_spec(const trace::TraceSpec& spec,
 
 /// Prints the standard bench header (paper reference, run parameters).
 void print_header(const std::string& what, const BenchOptions& opts);
+
+/// Writes the sink to opts.json_path when set (stderr note on success,
+/// error on failure).
+void write_json(const BenchOptions& opts, const harness::JsonResultSink& sink);
 
 }  // namespace cesrm::bench

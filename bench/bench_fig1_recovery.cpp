@@ -25,11 +25,9 @@ int main(int argc, char** argv) {
   double reduction_sum = 0.0;
   int reduction_count = 0;
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    const auto run = bench::run_trace(spec, opts.base);
-
+  harness::JsonResultSink sink;
+  for (const auto& run : bench::run_traces(opts, &sink)) {
+    const auto& spec = run.spec;
     util::TextTable table("Trace " + spec.name +
                           "; Ave. Norm. Rec. Time (# RTTs)");
     table.set_header({"Receiver", "SRM", "CESRM", "CESRM/SRM"});
@@ -61,5 +59,6 @@ int main(int argc, char** argv) {
                      100.0 * reduction_sum / reduction_count, 1)
               << "%   (paper: 40-70%, ~50% on average)\n";
   }
+  bench::write_json(opts, sink);
   return 0;
 }

@@ -32,11 +32,9 @@ int main(int argc, char** argv) {
             << " RTT)\n\n";
 
   util::OnlineStats all_diffs;
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    const auto run = bench::run_trace(spec, opts.base);
-
+  harness::JsonResultSink sink;
+  for (const auto& run : bench::run_traces(opts, &sink)) {
+    const auto& spec = run.spec;
     util::TextTable table("Trace " + spec.name +
                           "; RTT Difference in Ave. Norm. Rec. Time");
     table.set_header({"Receiver", "diff (# RTTs)", "#exp", "#non-exp"});
@@ -64,5 +62,6 @@ int main(int argc, char** argv) {
               << util::fmt_fixed(all_diffs.max(), 2)
               << " RTT   (paper: 1 to 2.5 RTT)\n";
   }
+  bench::write_json(opts, sink);
   return 0;
 }

@@ -22,11 +22,9 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 3 — # of RQST packets sent", opts);
 
   std::uint64_t srm_total = 0, cesrm_mc_total = 0, cesrm_uc_total = 0;
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    const auto run = bench::run_trace(spec, opts.base);
-
+  harness::JsonResultSink sink;
+  for (const auto& run : bench::run_traces(opts, &sink)) {
+    const auto& spec = run.spec;
     util::TextTable table("Trace " + spec.name + "; # of RQST Pkts Sent "
                           "(member 0 = source)");
     table.set_header({"Member", "SRM (multicast)", "CESRM (multicast)",
@@ -48,5 +46,6 @@ int main(int argc, char** argv) {
             << " + unicast expedited " << util::fmt_count(cesrm_uc_total)
             << "\n(paper: CESRM multicasts fewer requests; many of its "
                "requests are unicast)\n";
+  bench::write_json(opts, sink);
   return 0;
 }

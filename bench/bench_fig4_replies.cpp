@@ -22,11 +22,9 @@ int main(int argc, char** argv) {
   bench::print_header("Figure 4 — # of REPL packets sent", opts);
 
   std::uint64_t srm_total = 0, cesrm_total = 0;
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    const auto run = bench::run_trace(spec, opts.base);
-
+  harness::JsonResultSink sink;
+  for (const auto& run : bench::run_traces(opts, &sink)) {
+    const auto& spec = run.spec;
     util::TextTable table("Trace " + spec.name + "; # REPL Pkts Sent "
                           "(member 0 = source)");
     table.set_header({"Member", "SRM (multicast)", "CESRM (multicast)",
@@ -51,5 +49,6 @@ int main(int argc, char** argv) {
                      1)
               << "% of SRM's retransmissions   (paper: 30%-80%)\n";
   }
+  bench::write_json(opts, sink);
   return 0;
 }

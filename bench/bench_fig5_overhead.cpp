@@ -34,10 +34,12 @@ int main(int argc, char** argv) {
                        "Ucast Control", "Total Control"});
   overhead.set_align(1, util::Align::kLeft);
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    const auto run = bench::run_trace(spec, opts.base);
+  harness::JsonResultSink sink;
+  const auto runs = bench::run_traces(opts, &sink);
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const int id = opts.trace_ids[i];
+    const auto& run = runs[i];
+    const auto& spec = run.spec;
     const auto f5 = harness::figure5(run.srm, run.cesrm);
 
     success.add_row(
@@ -59,5 +61,6 @@ int main(int argc, char** argv) {
                "on 10 of 14;\n control < ~52% of SRM for all but one trace; "
                "session traffic is identical\n under both protocols and "
                "excluded, as in the paper)\n";
+  bench::write_json(opts, sink);
   return 0;
 }

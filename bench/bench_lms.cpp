@@ -175,17 +175,35 @@ int main(int argc, char** argv) {
   table.set_align(0, util::Align::kLeft);
   table.set_align(1, util::Align::kLeft);
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    const auto gen = trace::generate_trace(spec);
-    const auto est = infer::estimate_links_yajnik(*gen.loss);
-    infer::LinkTraceRepresentation links(*gen.loss, est.loss_rate);
+  // The LMS comparison needs custom agents and crash scheduling, so it
+  // keeps its hand-built run() loop. Trace preparation goes through the
+  // runner's shared cache and the 6 (protocol × {healthy, churned})
+  // simulations per trace fan out over --jobs worker threads.
+  const Proto protos[] = {Proto::kSrm, Proto::kCesrm, Proto::kLms};
+  const auto specs = bench::selected_specs(opts);
+  auto runner = bench::make_runner(opts);
+  const auto prepared = runner.prepare(specs);
 
+  struct Cell {
+    RunOutcome healthy, churned;
+  };
+  std::vector<Cell> cells(specs.size() * 3);
+  harness::parallel_for(cells.size() * 2, opts.jobs, [&](std::size_t t) {
+    const std::size_t cell = t / 2;
+    const bool crash = t % 2 == 1;
+    const auto& trace = *prepared[cell / 3];
+    const auto outcome =
+        run(protos[cell % 3], trace.gen, *trace.links, opts, crash);
+    (crash ? cells[cell].churned : cells[cell].healthy) = outcome;
+  });
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
     bool first = true;
-    for (const Proto proto : {Proto::kSrm, Proto::kCesrm, Proto::kLms}) {
-      const auto healthy = run(proto, gen, links, opts, /*crash=*/false);
-      const auto churned = run(proto, gen, links, opts, /*crash=*/true);
+    for (std::size_t p = 0; p < 3; ++p) {
+      const Proto proto = protos[p];
+      const auto& healthy = cells[i * 3 + p].healthy;
+      const auto& churned = cells[i * 3 + p].churned;
       util::OnlineStats healthy_all = healthy.pre_latency;
       healthy_all.merge(healthy.post_latency);
       table.add_row(

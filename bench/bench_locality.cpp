@@ -34,13 +34,16 @@ int main(int argc, char** argv) {
                     "in last 2 %", "in last 4 %", "pattern repeat %"});
   table.set_align(1, util::Align::kLeft);
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    const auto gen = trace::generate_trace(spec);
-    const auto est = infer::estimate_links_yajnik(*gen.loss);
-    infer::LinkTraceRepresentation links(*gen.loss, est.loss_rate);
-    const auto& loss = *gen.loss;
+  // Pure trace analysis — no protocol runs. Generation + inference still
+  // go through the runner so traces prepare in parallel and are shared.
+  const auto specs = bench::selected_specs(opts);
+  auto runner = bench::make_runner(opts);
+  const auto prepared = runner.prepare(specs);
+  for (std::size_t idx = 0; idx < specs.size(); ++idx) {
+    const int id = opts.trace_ids[idx];
+    const auto& spec = specs[idx];
+    const auto& links = *prepared[idx]->links;
+    const auto& loss = prepared[idx]->loss();
 
     std::uint64_t total = 0, hit1 = 0, hit2 = 0, hit4 = 0;
     for (std::size_t r = 0; r < loss.receiver_count(); ++r) {

@@ -7,8 +7,10 @@
 #include <benchmark/benchmark.h>
 
 #include "cesrm/cache.hpp"
+#include "harness/runner.hpp"
 #include "infer/combination_solver.hpp"
 #include "infer/link_estimator.hpp"
+#include "infer/link_trace.hpp"
 #include "infer/minc_estimator.hpp"
 #include "net/network.hpp"
 #include "net/topology_builder.hpp"
@@ -158,6 +160,56 @@ void BM_MincEstimation(benchmark::State& state) {
       static_cast<std::int64_t>(spec.packets) * state.iterations());
 }
 BENCHMARK(BM_MincEstimation);
+
+void BM_ParallelForOverhead(benchmark::State& state) {
+  // Cost of fanning trivial work out over the runner's thread pool —
+  // bounds the per-job dispatch overhead of an ExperimentRunner sweep.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto workers = static_cast<unsigned>(state.range(1));
+  std::vector<std::uint64_t> out(n);
+  for (auto _ : state) {
+    harness::parallel_for(n, workers,
+                          [&](std::size_t i) { out[i] = i * i; });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(n) * state.iterations());
+}
+BENCHMARK(BM_ParallelForOverhead)->Args({256, 1})->Args({256, 4});
+
+void BM_RunnerSmallSweep(benchmark::State& state) {
+  // End-to-end ExperimentRunner sweep over a tiny trace: 2 protocols × 2
+  // seeds with the preparation (generation + inference) pre-shared, so the
+  // measurement isolates job dispatch + simulation.
+  trace::TraceSpec spec;
+  spec.name = "BM4";
+  spec.receivers = 4;
+  spec.depth = 3;
+  spec.period_ms = 40;
+  spec.packets = 300;
+  spec.losses = 90;
+  spec.seed = 29;
+  const auto gen = trace::generate_trace(spec);
+  const auto links = std::make_shared<infer::LinkTraceRepresentation>(
+      *gen.loss, infer::estimate_links_yajnik(*gen.loss).loss_rate);
+  harness::RunnerOptions ropts;
+  ropts.jobs = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    harness::ExperimentRunner runner(ropts);
+    std::vector<harness::ExperimentJob> jobs;
+    for (int k = 0; k < 4; ++k) {
+      harness::ExperimentJob job;
+      job.spec = spec;
+      job.loss = gen.loss;
+      job.links = links;
+      job.protocol = k % 2 ? Protocol::kCesrm : Protocol::kSrm;
+      job.config.seed = static_cast<std::uint64_t>(1 + k / 2);
+      jobs.push_back(std::move(job));
+    }
+    benchmark::DoNotOptimize(runner.run(std::move(jobs)));
+  }
+  state.SetItemsProcessed(4 * state.iterations());
+}
+BENCHMARK(BM_RunnerSmallSweep)->Arg(1)->Arg(4);
 
 void BM_TraceGeneration(benchmark::State& state) {
   trace::TraceSpec spec;

@@ -28,21 +28,43 @@ int main(int argc, char** argv) {
   table.set_align(0, util::Align::kLeft);
   table.set_align(1, util::Align::kLeft);
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    bool first = true;
+  // Three jobs per trace: one SRM reference (router assist is a CESRM-only
+  // knob) plus plain and router-assisted CESRM.
+  const auto specs = bench::selected_specs(opts);
+  std::vector<harness::ExperimentJob> jobs;
+  for (const auto& spec : specs) {
+    harness::ExperimentJob srm_job;
+    srm_job.spec = spec;
+    srm_job.protocol = Protocol::kSrm;
+    srm_job.config = opts.base;
+    jobs.push_back(std::move(srm_job));
     for (const bool assist : {false, true}) {
-      harness::ExperimentConfig cfg = opts.base;
-      cfg.cesrm.router_assist = assist;
-      const auto run = bench::run_trace(spec, cfg);
-      const auto f5 = harness::figure5(run.srm, run.cesrm);
+      harness::ExperimentJob job;
+      job.spec = spec;
+      job.protocol = Protocol::kCesrm;
+      job.config = opts.base;
+      job.config.cesrm.router_assist = assist;
+      job.label = assist ? "router-assist" : "plain";
+      jobs.push_back(std::move(job));
+    }
+  }
+
+  harness::JsonResultSink sink;
+  const auto outcomes = bench::run_jobs(std::move(jobs), opts, &sink);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const auto& spec = specs[i];
+    const auto& srm = outcomes[i * 3].result;
+    bool first = true;
+    for (int variant = 0; variant < 2; ++variant) {
+      const bool assist = variant == 1;
+      const auto& cesrm = outcomes[i * 3 + 1 + variant].result;
+      const auto f5 = harness::figure5(srm, cesrm);
       const std::uint64_t erepl_crossings =
-          run.cesrm.crossings.total_of(net::PacketType::kExpReply);
-      const std::uint64_t erepl = run.cesrm.total_exp_replies_sent();
+          cesrm.crossings.total_of(net::PacketType::kExpReply);
+      const std::uint64_t erepl = cesrm.total_exp_replies_sent();
       table.add_row(
           {first ? spec.name : "", assist ? "router-assist" : "plain",
-           util::fmt_fixed(run.cesrm.mean_normalized_recovery_time(), 3),
+           util::fmt_fixed(cesrm.mean_normalized_recovery_time(), 3),
            erepl ? util::fmt_fixed(static_cast<double>(erepl_crossings) /
                                        static_cast<double>(erepl),
                                    2)
@@ -58,5 +80,6 @@ int main(int argc, char** argv) {
                "tree links; the §3.3 variant pays\nonly the unicast leg to "
                "the turning point plus its subtree — lighter-weight than "
                "LMS\nbecause routers keep no replier state)\n";
+  bench::write_json(opts, sink);
   return 0;
 }

@@ -28,10 +28,17 @@ int main(int argc, char** argv) {
                     "err%", "locality%", "burst", "mu", "iters"});
   table.set_align(1, util::Align::kLeft);
 
-  for (int id : opts.trace_ids) {
-    const auto spec =
-        bench::capped_spec(trace::table1_spec(id), opts.packets_cap);
-    const auto gen = trace::generate_trace(spec);
+  // Trace generation is the whole workload here; fan it out over --jobs.
+  const auto specs = bench::selected_specs(opts);
+  std::vector<trace::GeneratedTrace> gens(specs.size());
+  harness::parallel_for(specs.size(), opts.jobs, [&](std::size_t i) {
+    gens[i] = trace::generate_trace(specs[i]);
+  });
+
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const int id = opts.trace_ids[i];
+    const auto& spec = specs[i];
+    const auto& gen = gens[i];
     const auto& loss = *gen.loss;
     const double err =
         100.0 *

@@ -53,9 +53,9 @@ int main(int argc, char** argv) {
   infer::LinkTraceRepresentation links(*gen.loss, est.loss_rate);
 
   harness::ExperimentConfig cfg;
-  cfg.protocol = harness::Protocol::kSrm;
+  cfg.protocol = Protocol::kSrm;
   const auto srm = harness::run_experiment(*gen.loss, links, cfg);
-  cfg.protocol = harness::Protocol::kCesrm;
+  cfg.protocol = Protocol::kCesrm;
   const auto cesrm = harness::run_experiment(*gen.loss, links, cfg);
 
   // Repair-before-deadline: a lost packet is usable if its recovery

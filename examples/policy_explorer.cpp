@@ -42,7 +42,7 @@ int main(int argc, char** argv) {
 
   // SRM baseline once.
   harness::ExperimentConfig base;
-  base.protocol = harness::Protocol::kSrm;
+  base.protocol = Protocol::kSrm;
   const auto srm = harness::run_experiment(*gen.loss, links, base);
   const double srm_latency = srm.mean_normalized_recovery_time();
   std::cout << "SRM baseline: " << util::fmt_fixed(srm_latency, 3)
@@ -69,7 +69,7 @@ int main(int argc, char** argv) {
   table.set_align(0, util::Align::kLeft);
   for (const auto& k : grid) {
     harness::ExperimentConfig cfg;
-    cfg.protocol = harness::Protocol::kCesrm;
+    cfg.protocol = Protocol::kCesrm;
     cfg.cesrm.policy = k.policy;
     cfg.cesrm.cache_capacity = k.capacity;
     cfg.cesrm.reorder_delay = sim::SimTime::millis(k.reorder_delay_ms);

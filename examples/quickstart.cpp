@@ -66,10 +66,10 @@ int main(int argc, char** argv) {
   // 3. Replay the transmission under each protocol.
   harness::ExperimentConfig config;
   config.seed = spec.seed;
-  config.protocol = harness::Protocol::kSrm;
+  config.protocol = Protocol::kSrm;
   std::cout << "Running SRM..." << std::endl;
   const auto srm = harness::run_experiment(loss, links, config);
-  config.protocol = harness::Protocol::kCesrm;
+  config.protocol = Protocol::kCesrm;
   std::cout << "Running CESRM..." << std::endl;
   const auto cesrm = harness::run_experiment(loss, links, config);
 

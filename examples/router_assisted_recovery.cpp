@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
 
   auto run = [&](bool assist) {
     harness::ExperimentConfig cfg;
-    cfg.protocol = harness::Protocol::kCesrm;
+    cfg.protocol = Protocol::kCesrm;
     cfg.cesrm.router_assist = assist;
     return harness::run_experiment(loss, links, cfg);
   };

@@ -94,9 +94,9 @@ int main(int argc, char** argv) {
             << "% match ground truth\n\n";
 
   harness::ExperimentConfig cfg;
-  cfg.protocol = harness::Protocol::kSrm;
+  cfg.protocol = Protocol::kSrm;
   const auto srm = harness::run_experiment(*gen.loss, links, cfg);
-  cfg.protocol = harness::Protocol::kCesrm;
+  cfg.protocol = Protocol::kCesrm;
   const auto cesrm = harness::run_experiment(*gen.loss, links, cfg);
 
   const auto f5 = harness::figure5(srm, cesrm);

@@ -58,8 +58,8 @@ int main(int argc, char** argv) {
   api::MulticastGroup group(tree);
 
   api::SessionConfig config;
-  config.transport = flags.get_bool("cesrm") ? api::Transport::kCesrm
-                                             : api::Transport::kSrm;
+  config.protocol = flags.get_bool("cesrm") ? Protocol::kCesrm
+                                            : Protocol::kSrm;
 
   // Bursty loss on both regional links and one flaky leaf.
   util::Rng loss_rng(static_cast<std::uint64_t>(flags.get_int("seed")));

@@ -63,7 +63,7 @@ MulticastSession::MulticastSession(MulticastGroup& group, net::NodeId node,
   };
   util::Rng rng = group.rng_.fork(static_cast<std::uint64_t>(node) + 1);
   const net::NodeId primary = group.tree().root();
-  if (config.transport == Transport::kCesrm) {
+  if (config.protocol == Protocol::kCesrm) {
     agent_ = std::make_unique<CesrmAppAgent>(group.sim_, group.network_, node,
                                              primary, config.cesrm, rng,
                                              on_available);

@@ -30,16 +30,16 @@
 #include "cesrm/cesrm_agent.hpp"
 #include "net/network.hpp"
 #include "net/topology.hpp"
+#include "protocol.hpp"
 #include "sim/simulator.hpp"
 #include "srm/srm_agent.hpp"
 
 namespace cesrm::api {
 
-/// Which protocol recovers losses for a member.
-enum class Transport { kSrm, kCesrm };
-
 struct SessionConfig {
-  Transport transport = Transport::kCesrm;
+  /// Which protocol recovers losses for this member (shared enum — the
+  /// same selector the experiment harness uses).
+  Protocol protocol = Protocol::kCesrm;
   cesrm::CesrmConfig cesrm;  ///< cesrm.srm also configures SRM members
   /// When true, ADUs of each stream are delivered in sequence order
   /// (holdback buffer); default is ALF-style immediate delivery.

@@ -9,17 +9,6 @@
 
 namespace cesrm::harness {
 
-const char* protocol_name(Protocol p) {
-  return p == Protocol::kSrm ? "SRM" : "CESRM";
-}
-
-std::vector<const MemberResult*> ExperimentResult::receivers() const {
-  std::vector<const MemberResult*> out;
-  for (const auto& m : members)
-    if (!m.is_source) out.push_back(&m);
-  return out;
-}
-
 std::uint64_t ExperimentResult::total_losses_detected() const {
   std::uint64_t n = 0;
   for (const auto& m : members) n += m.stats.losses_detected;

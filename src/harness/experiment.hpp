@@ -13,19 +13,18 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cesrm/cesrm_agent.hpp"
 #include "infer/link_trace.hpp"
 #include "net/network.hpp"
+#include "protocol.hpp"
 #include "srm/srm_agent.hpp"
 #include "trace/loss_trace.hpp"
 
 namespace cesrm::harness {
-
-enum class Protocol { kSrm, kCesrm };
-const char* protocol_name(Protocol p);
 
 struct ExperimentConfig {
   Protocol protocol = Protocol::kCesrm;
@@ -67,8 +66,11 @@ struct ExperimentResult {
   net::SeqNo packets_sent = 0;
 
   const MemberResult& source() const { return members.front(); }
-  /// Receivers only (members[1..]).
-  std::vector<const MemberResult*> receivers() const;
+  /// Receivers only — a zero-copy view over members[1..] (members are
+  /// ordered source first, so the view is exactly the non-source tail).
+  std::span<const MemberResult> receivers() const {
+    return std::span<const MemberResult>(members).subspan(1);
+  }
 
   // --- aggregate convenience accessors used by reports and tests ---
   std::uint64_t total_losses_detected() const;

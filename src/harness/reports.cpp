@@ -1,5 +1,10 @@
 #include "harness/reports.hpp"
 
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
 #include "util/check.hpp"
 
 namespace cesrm::harness {
@@ -7,9 +12,9 @@ namespace cesrm::harness {
 std::vector<ReceiverRecoveryStats> receiver_recovery_stats(
     const ExperimentResult& result) {
   std::vector<ReceiverRecoveryStats> rows;
+  rows.reserve(result.receivers().size());
   int idx = 0;
-  for (const auto& m : result.members) {
-    if (m.is_source) continue;
+  for (const auto& m : result.receivers()) {
     ++idx;
     ReceiverRecoveryStats row;
     row.receiver = idx;
@@ -148,6 +153,116 @@ Fig5Stats figure5(const ExperimentResult& srm, const ExperimentResult& cesrm) {
                         static_cast<double>(srm_control)
                   : 0.0;
   return out;
+}
+
+// --------------------------------------------------------------- JSON ------
+
+namespace {
+
+void json_escape(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void json_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {
+    os << "null";
+    return;
+  }
+  std::ostringstream tmp;  // shortest locale-independent representation
+  tmp.imbue(std::locale::classic());
+  tmp.precision(17);
+  tmp << v;
+  os << tmp.str();
+}
+
+}  // namespace
+
+std::string to_json(const ExperimentResult& result, double wall_seconds,
+                    const std::string& label) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << "{\"trace\":";
+  json_escape(os, result.trace_name);
+  os << ",\"protocol\":\"" << protocol_name(result.protocol) << '"';
+  if (!label.empty()) {
+    os << ",\"label\":";
+    json_escape(os, label);
+  }
+  os << ",\"packets_sent\":" << result.packets_sent
+     << ",\"events_executed\":" << result.events_executed
+     << ",\"sim_end_seconds\":";
+  json_double(os, result.sim_end.to_seconds());
+  if (wall_seconds >= 0.0) {
+    os << ",\"wall_seconds\":";
+    json_double(os, wall_seconds);
+  }
+  os << ",\"losses_detected\":" << result.total_losses_detected()
+     << ",\"silent_repairs\":" << result.total_silent_repairs()
+     << ",\"recovered\":" << result.total_recovered()
+     << ",\"unrecovered\":" << result.total_unrecovered()
+     << ",\"requests_sent\":" << result.total_requests_sent()
+     << ",\"replies_sent\":" << result.total_replies_sent()
+     << ",\"exp_requests_sent\":" << result.total_exp_requests_sent()
+     << ",\"exp_replies_sent\":" << result.total_exp_replies_sent()
+     << ",\"mean_normalized_recovery_time\":";
+  json_double(os, result.mean_normalized_recovery_time());
+  os << ",\"receivers\":[";
+  bool first = true;
+  for (const auto& r : receiver_recovery_stats(result)) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"receiver\":" << r.receiver << ",\"node\":" << r.node
+       << ",\"losses\":" << r.losses << ",\"recovered\":" << r.recovered
+       << ",\"expedited\":" << r.expedited << ",\"avg_norm_all\":";
+    json_double(os, r.avg_norm_all);
+    os << ",\"avg_norm_expedited\":";
+    json_double(os, r.avg_norm_expedited);
+    os << ",\"avg_norm_non_expedited\":";
+    json_double(os, r.avg_norm_non_expedited);
+    os << '}';
+  }
+  os << "]}";
+  return os.str();
+}
+
+void JsonResultSink::add(const ExperimentResult& result, double wall_seconds,
+                         const std::string& label) {
+  entries_.push_back(to_json(result, wall_seconds, label));
+}
+
+std::string JsonResultSink::document() const {
+  std::string doc = "{\"results\":[";
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (i > 0) doc += ',';
+    doc += '\n';
+    doc += entries_[i];
+  }
+  doc += "\n]}\n";
+  return doc;
+}
+
+bool JsonResultSink::write_file(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << document();
+  return static_cast<bool>(out);
 }
 
 AnalysisBounds analysis_bounds(const srm::SrmConfig& config) {

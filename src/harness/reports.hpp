@@ -97,4 +97,32 @@ struct AnalysisBounds {
 };
 AnalysisBounds analysis_bounds(const srm::SrmConfig& config);
 
+// --------------------------------------------------------------------------
+// JSON result sink — machine-readable companion to the text tables.
+// --------------------------------------------------------------------------
+
+/// One experiment result as a JSON object: trace, protocol, aggregate
+/// counters, mean normalized recovery time, and the per-receiver recovery
+/// stats (the Figure 1/2 series). `wall_seconds` < 0 omits the field;
+/// `label` tags bench variants (policy, delay, …) and is omitted if empty.
+std::string to_json(const ExperimentResult& result, double wall_seconds = -1.0,
+                    const std::string& label = "");
+
+/// Accumulates experiment results and writes them as one JSON document
+/// of the form {"results": [...]}, so every bench can emit machine-readable
+/// output alongside its tables (--json=FILE).
+class JsonResultSink {
+ public:
+  void add(const ExperimentResult& result, double wall_seconds = -1.0,
+           const std::string& label = "");
+
+  std::size_t size() const { return entries_.size(); }
+  std::string document() const;
+  /// Writes document() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> entries_;
+};
+
 }  // namespace cesrm::harness

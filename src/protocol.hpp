@@ -1,0 +1,21 @@
+// protocol.hpp — the one protocol-selection enum of the repository.
+//
+// Every layer that picks a loss-recovery protocol — the application-facing
+// api::SessionConfig, the trace-driven harness::ExperimentConfig, the
+// bench sweeps and the CLI — selects from this single enum. (It used to be
+// duplicated as api::Transport and harness::Protocol; the ns-3/ccns3Sim
+// experience is that a reusable simulator reproduction needs exactly one
+// such switch, shared by the session API and the experiment harness.)
+#pragma once
+
+namespace cesrm {
+
+/// Which protocol recovers losses for a member / an experiment.
+enum class Protocol { kSrm, kCesrm };
+
+/// Human-readable name, as used in tables, reports, and JSON output.
+constexpr const char* protocol_name(Protocol p) {
+  return p == Protocol::kSrm ? "SRM" : "CESRM";
+}
+
+}  // namespace cesrm

@@ -135,7 +135,7 @@ TEST(MulticastSession, ManyToManyStreams) {
 TEST(MulticastSession, SrmTransportAlsoWorks) {
   MulticastGroup group(small_tree());
   SessionConfig srm_cfg;
-  srm_cfg.transport = Transport::kSrm;
+  srm_cfg.protocol = Protocol::kSrm;
   group.set_drop_fn([](const net::Packet& pkt, NodeId, NodeId to) {
     return pkt.type == net::PacketType::kData && pkt.seq == 0 && to == 5;
   });

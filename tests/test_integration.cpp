@@ -16,7 +16,7 @@ namespace {
 
 using harness::ExperimentConfig;
 using harness::ExperimentResult;
-using harness::Protocol;
+
 
 /// A Table-1 spec scaled down to `packets` so integration tests stay fast
 /// while preserving the published shape and loss *rate*.

@@ -303,9 +303,9 @@ TEST_P(ExperimentProperty, ProtocolInvariantsHold) {
 
   harness::ExperimentConfig cfg;
   cfg.seed = c.seed;
-  cfg.protocol = harness::Protocol::kSrm;
+  cfg.protocol = Protocol::kSrm;
   const auto srm = harness::run_experiment(*gen.loss, links, cfg);
-  cfg.protocol = harness::Protocol::kCesrm;
+  cfg.protocol = Protocol::kCesrm;
   const auto cesrm = harness::run_experiment(*gen.loss, links, cfg);
 
   // Completeness: every injected loss is either detected or repaired

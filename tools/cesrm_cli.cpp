@@ -30,6 +30,7 @@
 
 #include "harness/experiment.hpp"
 #include "harness/reports.hpp"
+#include "harness/runner.hpp"
 #include "infer/link_estimator.hpp"
 #include "infer/link_trace.hpp"
 #include "infer/minc_estimator.hpp"
@@ -168,10 +169,40 @@ harness::ExperimentConfig config_from_flags(const util::CliFlags& flags) {
   return cfg;
 }
 
+// An ExperimentRunner honouring --jobs, with per-job progress on stderr.
+harness::ExperimentRunner runner_from_flags(const util::CliFlags& flags) {
+  harness::RunnerOptions ropts;
+  ropts.jobs = static_cast<unsigned>(flags.get_int("jobs"));
+  ropts.on_progress = [](const harness::JobOutcome& outcome, std::size_t done,
+                         std::size_t total) {
+    std::cerr << "[" << done << "/" << total << "] "
+              << protocol_name(outcome.protocol) << " done in "
+              << util::fmt_fixed(outcome.wall_seconds, 1) << "s\n";
+  };
+  return harness::ExperimentRunner(ropts);
+}
+
+// Writes simulate/compare outcomes to --json=FILE when given.
+void maybe_write_json(const util::CliFlags& flags,
+                      const std::vector<harness::JobOutcome>& outcomes,
+                      const std::string& trace_name) {
+  const std::string path = flags.get_string("json");
+  if (path.empty()) return;
+  harness::JsonResultSink sink;
+  for (const auto& o : outcomes)
+    sink.add(o.result, o.wall_seconds, o.label.empty() ? trace_name : o.label);
+  if (sink.write_file(path))
+    std::cerr << "wrote " << path << "\n";
+  else
+    std::cerr << "error: could not write " << path << "\n";
+}
+
 int cmd_simulate(const util::CliFlags& flags) {
   const auto file = trace::load_trace(flags.get_string("in"));
   const auto est = infer::estimate_links_yajnik(*file.loss);
-  infer::LinkTraceRepresentation links(*file.loss, est.loss_rate);
+  const auto links_ptr = std::make_shared<infer::LinkTraceRepresentation>(
+      *file.loss, est.loss_rate);
+  const infer::LinkTraceRepresentation& links = *links_ptr;
 
   harness::ExperimentConfig cfg = config_from_flags(flags);
   const std::string protocol = flags.get_string("protocol");
@@ -238,17 +269,27 @@ int cmd_simulate(const util::CliFlags& flags) {
               << ", redesignations " << directory.redesignations() << "\n";
     return 0;
   }
+  Protocol proto;
   if (protocol == "srm") {
-    cfg.protocol = harness::Protocol::kSrm;
+    proto = Protocol::kSrm;
   } else if (protocol == "cesrm") {
-    cfg.protocol = harness::Protocol::kCesrm;
+    proto = Protocol::kCesrm;
   } else {
     std::cerr << "simulate: unknown --protocol '" << protocol << "'\n";
     return 1;
   }
-  const auto result = harness::run_experiment(*file.loss, links, cfg);
 
-  std::cout << protocol_name(cfg.protocol) << " on " << file.loss->name()
+  harness::ExperimentJob job;
+  job.loss = file.loss;
+  job.links = links_ptr;
+  job.protocol = proto;
+  job.config = cfg;
+  auto runner = runner_from_flags(flags);
+  const auto outcomes = runner.run({std::move(job)});
+  const auto& result = outcomes.front().result;
+  maybe_write_json(flags, outcomes, file.loss->name());
+
+  std::cout << protocol_name(proto) << " on " << file.loss->name()
             << ":\n"
             << "  mean normalized recovery time: "
             << util::fmt_fixed(result.mean_normalized_recovery_time(), 3)
@@ -275,13 +316,24 @@ int cmd_simulate(const util::CliFlags& flags) {
 int cmd_compare(const util::CliFlags& flags) {
   const auto file = trace::load_trace(flags.get_string("in"));
   const auto est = infer::estimate_links_yajnik(*file.loss);
-  infer::LinkTraceRepresentation links(*file.loss, est.loss_rate);
+  const auto links = std::make_shared<infer::LinkTraceRepresentation>(
+      *file.loss, est.loss_rate);
 
-  harness::ExperimentConfig cfg = config_from_flags(flags);
-  cfg.protocol = harness::Protocol::kSrm;
-  const auto srm = harness::run_experiment(*file.loss, links, cfg);
-  cfg.protocol = harness::Protocol::kCesrm;
-  const auto cesrm = harness::run_experiment(*file.loss, links, cfg);
+  // Both protocol replays share the loaded trace and its link
+  // representation; with --jobs >= 2 they run concurrently.
+  const harness::ExperimentConfig cfg = config_from_flags(flags);
+  std::vector<harness::ExperimentJob> jobs(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    jobs[i].loss = file.loss;
+    jobs[i].links = links;
+    jobs[i].protocol = i == 0 ? Protocol::kSrm : Protocol::kCesrm;
+    jobs[i].config = cfg;
+  }
+  auto runner = runner_from_flags(flags);
+  const auto outcomes = runner.run(std::move(jobs));
+  const auto& srm = outcomes[0].result;
+  const auto& cesrm = outcomes[1].result;
+  maybe_write_json(flags, outcomes, file.loss->name());
 
   util::TextTable table("Per-receiver avg normalized recovery time (RTTs):");
   table.set_header({"receiver", "SRM", "CESRM", "CESRM/SRM"});
@@ -323,6 +375,10 @@ int main(int argc, char** argv) {
   flags.add_bool("router-assist", false, "enable §3.3 router assistance");
   flags.add_bool("adaptive", false, "enable adaptive SRM timers");
   flags.add_int("seed", 1, "experiment seed");
+  flags.add_int("jobs", 0,
+                "worker threads for simulate/compare (0 = hardware)");
+  flags.add_string("json", "",
+                   "write simulate/compare results to FILE as JSON");
   if (!flags.parse(argc, argv)) return 1;
 
   if (flags.positional().size() != 1) {
