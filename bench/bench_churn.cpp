@@ -7,17 +7,18 @@
 // re-seeds itself with a live pair — recovery never stalls.
 //
 // This bench crashes a fraction of the receivers at the midpoint of each
-// trace and reports, for the pre-crash and post-crash halves: the
-// expedited success rate, the expedited share of recoveries, and the mean
-// normalized recovery latency. The invariant to observe: zero unrecovered
-// losses in every configuration, a success-rate dip right after the
-// crash, and latency staying far below SRM's.
+// trace — the replier-crash FaultPlan scenario, run through the standard
+// experiment harness with the invariant oracle armed — and reports, for
+// the pre-crash and post-crash halves: the expedited success rate, the
+// expedited share of recoveries, and the mean normalized recovery latency.
+// The invariant to observe: zero unrecovered losses in every
+// configuration, a success-rate dip right after the crash, and latency
+// staying far below SRM's.
 
 #include <iostream>
 
 #include "bench_common.hpp"
-#include "cesrm/cesrm_agent.hpp"
-#include "infer/link_estimator.hpp"
+#include "fault/fault_plan.hpp"
 #include "util/stats.hpp"
 
 namespace {
@@ -28,15 +29,6 @@ struct PhaseStats {
   util::OnlineStats latency;  // normalized
   std::uint64_t expedited = 0;
   std::uint64_t recovered = 0;
-};
-
-// Everything one trace's churn simulation reports; collected per trace so
-// the simulations can fan out over worker threads and print in order.
-struct ChurnOutcome {
-  PhaseStats before, after;
-  std::uint64_t unrecovered = 0;
-  std::uint64_t erqst_total = 0;
-  std::uint64_t erepl_total = 0;
 };
 
 }  // namespace
@@ -59,103 +51,65 @@ int main(int argc, char** argv) {
   table.set_align(0, util::Align::kLeft);
   table.set_align(1, util::Align::kLeft);
 
-  // The churn scenario needs custom event scheduling (mid-run fail()
-  // calls), so it keeps its hand-built simulation loop and fans the
-  // independent per-trace simulations out over --jobs worker threads.
+  // One CESRM job per trace, carrying the replier-crash scenario plan; the
+  // runner fans the simulations out over --jobs worker threads and the
+  // oracle checks liveness/safety inside every run.
   const auto specs = bench::selected_specs(opts);
-  std::vector<ChurnOutcome> results(specs.size());
-  harness::parallel_for(specs.size(), opts.jobs, [&](std::size_t idx) {
-    const auto& spec = specs[idx];
-    ChurnOutcome& out = results[idx];
-    const auto gen = trace::generate_trace(spec);
-    const auto est = infer::estimate_links_yajnik(*gen.loss);
-    infer::LinkTraceRepresentation links(*gen.loss, est.loss_rate);
+  std::vector<harness::ExperimentJob> jobs;
+  std::vector<sim::SimTime> midpoints;
+  for (const auto& spec : specs) {
+    fault::ScenarioContext ctx;
+    ctx.receivers = spec.receivers;
+    ctx.data_start = opts.base.warmup;
+    ctx.data_end = opts.base.warmup +
+                   sim::SimTime::millis(spec.period_ms) *
+                       static_cast<std::int64_t>(spec.packets);
+    harness::ExperimentJob job;
+    job.spec = spec;
+    job.protocol = Protocol::kCesrm;
+    job.config = opts.base;
+    job.config.faults = fault::replier_crash_plan(ctx, crash_fraction);
+    job.label = "churn";
+    midpoints.push_back(job.config.faults.crashes.front().at);
+    jobs.push_back(std::move(job));
+  }
 
-    // Replicate run_experiment but with mid-run crashes: build the
-    // simulation by hand so we can schedule fail() calls.
-    const auto& tree = gen.loss->tree();
-    sim::Simulator sim;
-    net::Network network(sim, tree, opts.base.network);
-    util::Rng rng(opts.seed);
-
-    std::vector<std::unique_ptr<::cesrm::cesrm::CesrmAgent>> agents;
-    std::vector<net::NodeId> member_nodes{tree.root()};
-    for (net::NodeId r : tree.receivers()) member_nodes.push_back(r);
-    for (net::NodeId nid : member_nodes) {
-      agents.push_back(std::make_unique<::cesrm::cesrm::CesrmAgent>(
-          sim, network, nid, tree.root(), opts.base.cesrm,
-          rng.fork(static_cast<std::uint64_t>(nid) + 1)));
-    }
-    network.set_drop_fn([&](const net::Packet& pkt, net::NodeId from,
-                            net::NodeId to) {
-      if (pkt.type != net::PacketType::kData) return false;
-      if (tree.parent(to) != from) return false;
-      const auto& drops = links.drop_links(pkt.seq);
-      return std::binary_search(drops.begin(), drops.end(), to);
-    });
-    for (auto& agent : agents)
-      agent->start_session(sim::SimTime::millis(rng.uniform_int(0, 999)));
-
-    const sim::SimTime warmup = sim::SimTime::seconds(5);
-    const net::SeqNo packets = gen.loss->packet_count();
-    std::function<void(net::SeqNo)> send_next = [&](net::SeqNo seq) {
-      agents.front()->send_data(seq);
-      if (seq + 1 < packets)
-        sim.schedule_in(gen.loss->period(),
-                        [&send_next, seq] { send_next(seq + 1); });
-    };
-    sim.schedule_at(warmup, [&send_next] { send_next(0); });
-
-    // Crash the last ceil(fraction·R) receivers at the midpoint.
-    const sim::SimTime midpoint =
-        warmup + gen.loss->period() * (packets / 2);
-    const auto crash_count = static_cast<std::size_t>(
-        crash_fraction * static_cast<double>(tree.receivers().size()) + 0.5);
-    sim.schedule_at(midpoint, [&agents, crash_count] {
-      for (std::size_t i = 0; i < crash_count; ++i)
-        agents[agents.size() - 1 - i]->fail();
-    });
-
-    sim.run_until(warmup + gen.loss->period() * packets +
-                  sim::SimTime::seconds(30));
-    for (auto& agent : agents) {
-      agent->stop_session();
-      agent->finalize_stats();
-    }
-
-    // Split recoveries of the *surviving* members by crash time.
-    for (auto& agent : agents) {
-      if (agent->failed() || agent->node() == tree.root()) continue;
-      const double rtt =
-          2.0 * network.path_delay(agent->node(), tree.root()).to_seconds();
-      for (const auto& r : agent->stats().recoveries) {
-        if (!r.recovered) {
-          ++out.unrecovered;
-          continue;
-        }
-        PhaseStats& phase = r.detect_time < midpoint ? out.before : out.after;
-        ++phase.recovered;
-        phase.expedited += r.expedited ? 1 : 0;
-        phase.latency.add(r.latency_seconds() / rtt);
-      }
-    }
-    for (auto& agent : agents) {
-      out.erqst_total += agent->stats().exp_requests_sent;
-      out.erepl_total += agent->stats().exp_replies_sent;
-    }
-  });
+  harness::JsonResultSink sink;
+  const auto outcomes =
+      bench::run_jobs(std::move(jobs), opts,
+                      opts.json_path.empty() ? nullptr : &sink);
 
   for (std::size_t i = 0; i < specs.size(); ++i) {
-    const auto& spec = specs[i];
-    const ChurnOutcome& out = results[i];
+    const auto& result = outcomes[i].result;
+    const sim::SimTime midpoint = midpoints[i];
+
+    // Split recoveries of the *surviving* members by crash time.
+    PhaseStats before, after;
+    std::uint64_t unrecovered = 0;
+    std::uint64_t erqst_total = result.total_exp_requests_sent();
+    std::uint64_t erepl_total = result.total_exp_replies_sent();
+    for (const auto& member : result.members) {
+      if (member.failed || member.is_source) continue;
+      for (const auto& r : member.stats.recoveries) {
+        if (!r.recovered) {
+          ++unrecovered;
+          continue;
+        }
+        PhaseStats& phase = r.detect_time < midpoint ? before : after;
+        ++phase.recovered;
+        phase.expedited += r.expedited ? 1 : 0;
+        phase.latency.add(r.latency_seconds() / member.rtt_to_source);
+      }
+    }
+
     auto add_phase = [&](const char* label, const PhaseStats& p,
                          bool first) {
       table.add_row(
-          {first ? spec.name : "", label,
+          {first ? specs[i].name : "", label,
            first ? util::fmt_fixed(
-                       out.erqst_total
-                           ? 100.0 * static_cast<double>(out.erepl_total) /
-                                 static_cast<double>(out.erqst_total)
+                       erqst_total
+                           ? 100.0 * static_cast<double>(erepl_total) /
+                                 static_cast<double>(erqst_total)
                            : 0.0,
                        1)
                  : "\"",
@@ -165,10 +119,10 @@ int main(int argc, char** argv) {
                                  1)
                : "-",
            p.latency.empty() ? "-" : util::fmt_fixed(p.latency.mean(), 3),
-           first ? util::fmt_count(out.unrecovered) : ""});
+           first ? util::fmt_count(unrecovered) : ""});
     };
-    add_phase("pre-crash", out.before, true);
-    add_phase("post-crash", out.after, false);
+    add_phase("pre-crash", before, true);
+    add_phase("post-crash", after, false);
     table.add_rule();
   }
   table.print();
@@ -177,5 +131,6 @@ int main(int argc, char** argv) {
                "note zero unrecovered — and the caches re-seed from the "
                "fallback\nrecoveries, so the expedited share climbs back "
                "after the crash)\n";
+  bench::write_json(opts, sink);
   return 0;
 }

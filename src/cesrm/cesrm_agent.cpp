@@ -53,7 +53,10 @@ void CesrmAgent::on_loss_detected(WantState& want) {
 }
 
 void CesrmAgent::exp_timer_fired(net::NodeId source, net::SeqNo seq) {
-  if (failed()) return;
+  if (failed()) {
+    ++stats_.zombie_timer_fires;
+    return;
+  }
   StreamState& s = stream(source);
   const auto it = s.want.find(seq);
   CESRM_CHECK_MSG(it != s.want.end(), "expedited timer for unknown loss");

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <functional>
+#include <optional>
 
+#include "fault/fault_scheduler.hpp"
+#include "fault/oracle.hpp"
 #include "infer/link_estimator.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
@@ -73,9 +76,12 @@ double ExperimentResult::mean_normalized_recovery_time() const {
   return count ? sum / static_cast<double>(count) : 0.0;
 }
 
-ExperimentResult run_experiment(const trace::LossTrace& loss_trace,
-                                const infer::LinkTraceRepresentation& links,
-                                const ExperimentConfig& config) {
+namespace {
+
+ExperimentResult run_experiment_impl(
+    const trace::LossTrace& loss_trace,
+    const infer::LinkTraceRepresentation& links,
+    const ExperimentConfig& config) {
   const auto& tree = loss_trace.tree();
   sim::Simulator sim;
   net::Network network(sim, tree, config.network);
@@ -99,6 +105,20 @@ ExperimentResult run_experiment(const trace::LossTrace& loss_trace,
     }
   }
 
+  // --- fault injection ---------------------------------------------------
+  // A non-empty plan turns crashes/outages/bursts into simulator events
+  // and arms the invariant oracle; an empty plan leaves the run untouched.
+  std::optional<fault::FaultScheduler> faults;
+  std::optional<fault::InvariantOracle> oracle;
+  if (!config.faults.empty()) {
+    faults.emplace(sim, network, config.faults, config.seed);
+    oracle.emplace(sim, tree);
+    for (std::size_t i = 0; i < agents.size(); ++i) {
+      faults->add_member(member_nodes[i], agents[i].get());
+      oracle->add_member(member_nodes[i], agents[i].get());
+    }
+  }
+
   // --- loss injection ---------------------------------------------------
   // Data packets drop on exactly the links named by the link trace
   // representation (downstream crossings only — data flows down the tree).
@@ -110,8 +130,8 @@ ExperimentResult run_experiment(const trace::LossTrace& loss_trace,
     recovery_rates = infer::estimate_links_yajnik(loss_trace).loss_rate;
   util::Rng drop_rng = rng.fork(0x10551055ULL);
 
-  network.set_drop_fn([&](const net::Packet& pkt, net::NodeId from,
-                          net::NodeId to) {
+  net::DropFn base_drop = [&](const net::Packet& pkt, net::NodeId from,
+                              net::NodeId to) {
     switch (pkt.type) {
       case net::PacketType::kData: {
         if (tree.parent(to) != from) return false;  // upstream: impossible
@@ -127,7 +147,11 @@ ExperimentResult run_experiment(const trace::LossTrace& loss_trace,
             recovery_rates[static_cast<std::size_t>(link)]);
       }
     }
-  });
+  };
+  if (faults)
+    faults->install(std::move(base_drop));  // layers fault drops on top
+  else
+    network.set_drop_fn(std::move(base_drop));
 
   // --- session warm-up ---------------------------------------------------
   for (auto& agent : agents) {
@@ -141,20 +165,39 @@ ExperimentResult run_experiment(const trace::LossTrace& loss_trace,
   if (config.max_packets > 0)
     packet_count = std::min(packet_count, config.max_packets);
   srm::SrmAgent* src_agent = agents.front().get();
-  // Chained scheduling keeps the pending-event set small.
+  net::SeqNo packets_sent = 0;
+  // Chained scheduling keeps the pending-event set small. A blocked source
+  // (pause clause, or a crashed source) defers the pending packet to the
+  // resume time — sequence numbers stay consecutive — and a crash-stopped
+  // source simply ends the transmission early.
   std::function<void(net::SeqNo)> send_next = [&](net::SeqNo seq) {
+    if (faults && faults->source_blocked()) {
+      const sim::SimTime resume = faults->source_resume_time();
+      if (resume < sim::SimTime::infinity())
+        sim.schedule_at(resume, [&send_next, seq] { send_next(seq); });
+      return;
+    }
     src_agent->send_data(seq);
+    ++packets_sent;
     if (seq + 1 < packet_count)
       sim.schedule_in(loss_trace.period(),
                       [&send_next, seq] { send_next(seq + 1); });
   };
   sim.schedule_at(config.warmup, [&send_next] { send_next(0); });
 
-  const sim::SimTime horizon =
+  sim::SimTime horizon =
       config.warmup +
       loss_trace.period() * static_cast<std::int64_t>(packet_count) +
       config.drain;
+  if (!config.faults.empty())
+    horizon += config.faults.horizon_slack() + config.fault_settle;
+  if (oracle) {
+    for (const fault::ResolvedCrash& crash : faults->crashes())
+      oracle->note_crash(crash);
+    oracle->start(horizon);
+  }
   sim.run_until(horizon);
+  if (oracle) oracle->finish(packets_sent, source);
 
   // --- collection ---------------------------------------------------------
   ExperimentResult result;
@@ -162,13 +205,14 @@ ExperimentResult run_experiment(const trace::LossTrace& loss_trace,
   result.protocol = config.protocol;
   result.events_executed = sim.events_executed();
   result.sim_end = sim.now();
-  result.packets_sent = packet_count;
+  result.packets_sent = packets_sent;
   for (std::size_t i = 0; i < agents.size(); ++i) {
     agents[i]->stop_session();
     agents[i]->finalize_stats();
     MemberResult m;
     m.node = member_nodes[i];
     m.is_source = member_nodes[i] == source;
+    m.failed = agents[i]->failed();
     m.stats = agents[i]->stats();
     m.rtt_to_source =
         2.0 * network.path_delay(member_nodes[i], source).to_seconds();
@@ -176,6 +220,27 @@ ExperimentResult run_experiment(const trace::LossTrace& loss_trace,
   }
   result.crossings = network.crossings();
   return result;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const trace::LossTrace& loss_trace,
+                                const infer::LinkTraceRepresentation& links,
+                                const ExperimentConfig& config) {
+  try {
+    return run_experiment_impl(loss_trace, links, config);
+  } catch (const util::CheckError& e) {
+    // One-line reproduction recipe: the tuple below replays the failing
+    // run exactly (the violation message itself carries the sim time).
+    CESRM_LOG_ERROR << "[cesrm-repro] trace=" << loss_trace.name()
+                    << " protocol=" << protocol_name(config.protocol)
+                    << " seed=" << config.seed << " packets="
+                    << (config.max_packets > 0 ? config.max_packets
+                                               : loss_trace.packet_count())
+                    << " faults=\"" << config.faults.summary() << "\" — "
+                    << e.what();
+    throw;
+  }
 }
 
 }  // namespace cesrm::harness

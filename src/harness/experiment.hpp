@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cesrm/cesrm_agent.hpp"
+#include "fault/fault_plan.hpp"
 #include "infer/link_trace.hpp"
 #include "net/network.hpp"
 #include "protocol.hpp"
@@ -44,6 +45,15 @@ struct ExperimentConfig {
   /// Optional cap on the number of data packets simulated (0 = full
   /// trace); used by quick examples and smoke tests.
   net::SeqNo max_packets = 0;
+  /// Deterministic fault scenario applied to the run (empty = fault-free;
+  /// an empty plan leaves behaviour byte-identical to a build without the
+  /// fault subsystem). A non-empty plan also arms the InvariantOracle:
+  /// liveness/safety violations throw util::CheckError, prefixed with a
+  /// reproduction line naming trace, seed, protocol, and plan.
+  fault::FaultPlan faults;
+  /// Extra time budget after the nominal horizon for faulted runs; the
+  /// plan's own horizon_slack() is always added on top of this.
+  sim::SimTime fault_settle = sim::SimTime::zero();
 };
 
 /// Per-member outcome. Members are ordered source first, then receivers
@@ -51,6 +61,8 @@ struct ExperimentConfig {
 struct MemberResult {
   net::NodeId node = net::kInvalidNode;
   bool is_source = false;
+  /// Crashed (and not recovered) when the run ended.
+  bool failed = false;
   srm::HostStats stats;
   /// True RTT to the source in seconds (normalization unit of Figures 1-2).
   double rtt_to_source = 0.0;

@@ -10,7 +10,8 @@ Network::Network(sim::Simulator& sim, const MulticastTree& tree,
       tree_(tree),
       config_(config),
       agents_(tree.size(), nullptr),
-      busy_(tree.size(), {sim::SimTime::zero(), sim::SimTime::zero()}) {
+      busy_(tree.size(), {sim::SimTime::zero(), sim::SimTime::zero()}),
+      link_up_(tree.size(), true) {
   CESRM_CHECK(config_.link_bandwidth_bps > 0.0);
   CESRM_CHECK(config_.link_delay >= sim::SimTime::zero());
 }
@@ -22,6 +23,17 @@ void Network::attach(NodeId node, Agent* agent) {
   CESRM_CHECK_MSG(tree_.is_root(node) || tree_.is_leaf(node),
                   "members attach only at the source or receivers");
   agents_[static_cast<std::size_t>(node)] = agent;
+}
+
+void Network::set_link_up(LinkId link, bool up) {
+  CESRM_CHECK_MSG(link > 0 && static_cast<std::size_t>(link) < link_up_.size(),
+                  "not a link (child endpoint): " << link);
+  link_up_[static_cast<std::size_t>(link)] = up;
+}
+
+bool Network::link_up(LinkId link) const {
+  CESRM_CHECK(link >= 0 && static_cast<std::size_t>(link) < link_up_.size());
+  return link_up_[static_cast<std::size_t>(link)];
 }
 
 sim::SimTime& Network::busy_until(NodeId from, NodeId to) {
@@ -51,11 +63,30 @@ void Network::send_hop(NodeId from, NodeId to, Packet pkt, Mode mode) {
     case Mode::kUnicast: ++stats_.unicast[type_idx]; break;
     case Mode::kSubcast: ++stats_.subcast[type_idx]; break;
   }
+  // Administrative link state: a down link loses the crossing outright,
+  // in either direction.
+  const LinkId link = tree_.parent(to) == from ? to : from;
+  if (!link_up_[static_cast<std::size_t>(link)]) {
+    ++stats_.dropped[type_idx];
+    return;
+  }
   if (drop_fn_ && drop_fn_(pkt, from, to)) {
     ++stats_.dropped[type_idx];
     return;
   }
-  const sim::SimTime arrival = transmit(from, to, pkt.size_bytes);
+  sim::SimTime arrival = transmit(from, to, pkt.size_bytes);
+  if (perturb_fn_) {
+    const Perturbation p = perturb_fn_(pkt, from, to);
+    CESRM_CHECK(p.extra_delay >= sim::SimTime::zero());
+    arrival += p.extra_delay;
+    if (p.duplicate) {
+      ++stats_.duplicated[type_idx];
+      const sim::SimTime dup_arrival = transmit(from, to, pkt.size_bytes);
+      sim_.schedule_at(dup_arrival, [this, from, to, pkt, mode] {
+        arrive(to, from, pkt, mode);
+      });
+    }
+  }
   sim_.schedule_at(arrival, [this, from, to, pkt = std::move(pkt), mode] {
     arrive(to, from, pkt, mode);
   });
@@ -175,6 +206,11 @@ void Network::unicast_subcast(NodeId from, NodeId router, const Packet& pkt) {
     CESRM_CHECK(next != kInvalidNode);
     const auto type_idx = static_cast<std::size_t>(leg.type);
     ++stats_.unicast[type_idx];
+    const LinkId leg_link = tree_.parent(next) == cur ? next : cur;
+    if (!link_up_[static_cast<std::size_t>(leg_link)]) {
+      ++stats_.dropped[type_idx];
+      return;  // leg lost on a downed link: no subcast happens
+    }
     if (drop_fn_ && drop_fn_(leg, cur, next)) {
       ++stats_.dropped[type_idx];
       return;  // leg lost: no subcast happens

@@ -16,9 +16,13 @@
 // A pluggable DropFn decides per link crossing whether the packet is lost;
 // the experiment harness injects data-packet losses on exactly the links
 // named by the link trace representation, and (optionally) random losses
-// on recovery traffic. All link crossings are tallied per packet type and
-// per delivery primitive — the Figure-5 "1 unit per link crossing"
-// transmission-overhead metric falls directly out of these counters.
+// on recovery traffic. Fault injection (src/fault) layers two more knobs
+// on top: administrative per-link up/down state (a down link loses every
+// crossing in both directions — the §3.3 partition model) and a PerturbFn
+// that duplicates packets or adds delay jitter per crossing. All link
+// crossings are tallied per packet type and per delivery primitive — the
+// Figure-5 "1 unit per link crossing" transmission-overhead metric falls
+// directly out of these counters.
 #pragma once
 
 #include <array>
@@ -44,6 +48,17 @@ class Agent {
 /// the edge `from` → `to` (always a tree edge).
 using DropFn = std::function<bool(const Packet& pkt, NodeId from, NodeId to)>;
 
+/// Per-crossing perturbation decision (fault injection): the packet's
+/// arrival is delayed by `extra_delay` and, when `duplicate` is set, a
+/// second copy of the crossing is transmitted (consuming link bandwidth
+/// like any other packet, so duplicates also queue).
+struct Perturbation {
+  sim::SimTime extra_delay = sim::SimTime::zero();
+  bool duplicate = false;
+};
+using PerturbFn =
+    std::function<Perturbation(const Packet& pkt, NodeId from, NodeId to)>;
+
 struct NetworkConfig {
   double link_bandwidth_bps = 1.5e6;       ///< 1.5 Mbps (§4.3)
   sim::SimTime link_delay = sim::SimTime::millis(20);  ///< per-link, one-way
@@ -58,6 +73,8 @@ struct CrossingStats {
   std::array<std::uint64_t, kPacketTypeCount> unicast{};
   std::array<std::uint64_t, kPacketTypeCount> subcast{};
   std::array<std::uint64_t, kPacketTypeCount> dropped{};
+  /// Extra copies injected by the perturbation hook (fault injection).
+  std::array<std::uint64_t, kPacketTypeCount> duplicated{};
 
   std::uint64_t multicast_of(PacketType t) const {
     return multicast[static_cast<std::size_t>(t)];
@@ -88,6 +105,17 @@ class Network {
 
   /// Installs the per-crossing loss decision; nullptr = lossless.
   void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
+
+  /// Installs the per-crossing perturbation decision (duplication and
+  /// delay jitter); nullptr = undisturbed. Consulted after link state and
+  /// the drop decision, so a dropped packet is never duplicated.
+  void set_perturb_fn(PerturbFn fn) { perturb_fn_ = std::move(fn); }
+
+  /// Administrative link state (fault injection): a down link drops every
+  /// crossing in either direction, counted under CrossingStats::dropped.
+  /// Links are identified by their child endpoint, as everywhere else.
+  void set_link_up(LinkId link, bool up);
+  bool link_up(LinkId link) const;
 
   /// Floods `pkt` over the shared tree from `from`'s attachment point.
   /// The sender does not receive its own packet.
@@ -129,7 +157,9 @@ class Network {
   NetworkConfig config_;
   std::vector<Agent*> agents_;
   std::vector<std::array<sim::SimTime, 2>> busy_;
+  std::vector<bool> link_up_;  ///< indexed by child endpoint
   DropFn drop_fn_;
+  PerturbFn perturb_fn_;
   CrossingStats stats_;
 };
 

@@ -5,9 +5,15 @@ namespace cesrm::sim {
 void Timer::arm(SimTime delay) { arm_at(sim_->now() + delay); }
 
 void Timer::arm_at(SimTime when) {
+  if (disabled_) return;
   cancel();
   expiry_ = when;
   id_ = sim_->schedule_at(when, [this] { fire(); });
+}
+
+void Timer::disable() {
+  cancel();
+  disabled_ = true;
 }
 
 void Timer::cancel() {

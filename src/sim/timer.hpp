@@ -38,6 +38,15 @@ class Timer {
   /// Cancels a pending expiry; no-op when idle.
   void cancel();
 
+  /// Permanently disarms the timer: cancels any pending expiry and turns
+  /// every future arm()/arm_at() into a no-op. Used when the timer's owner
+  /// crash-stops mid-simulation — any code path that would re-arm a dead
+  /// member's timer becomes inert instead of resurrecting it.
+  void disable();
+
+  /// True once disable() has been called.
+  bool disabled() const { return disabled_; }
+
   /// True while an expiry is pending.
   bool armed() const { return id_ != kInvalidEventId && sim_->is_pending(id_); }
 
@@ -51,6 +60,7 @@ class Timer {
   Callback on_expire_;
   EventId id_ = kInvalidEventId;
   SimTime expiry_ = SimTime::infinity();
+  bool disabled_ = false;
 };
 
 }  // namespace cesrm::sim

@@ -50,9 +50,72 @@ void SrmAgent::stop_session() {
 
 void SrmAgent::fail() {
   failed_ = true;
-  stop_session();
-  // Timers owned by stream state check failed_ on expiry; leave the state
-  // intact so post-mortem statistics remain readable.
+  // Cancel every pending event this member owns so a crashed member is
+  // truly inert: no request/reply/expedited timer survives (their Timers
+  // are destroyed with the per-packet state), and the session timer is
+  // permanently disabled against accidental re-arming.
+  if (session_timer_) session_timer_->disable();
+  if (catch_up_timer_) catch_up_timer_->disable();
+  catch_up_queue_.clear();
+  catch_up_next_ = 0;
+  for (auto& [source, s] : streams_) {
+    stats_.losses_abandoned_at_crash += s.want.size();
+    s.want.clear();   // request + expedited timers cancel via destructors
+    s.reply.clear();  // reply timers likewise
+  }
+}
+
+void SrmAgent::recover(sim::SimTime session_offset) {
+  CESRM_CHECK_MSG(failed_, "recover() on a live member");
+  failed_ = false;
+  // The crash disabled the timers for good; start fresh ones.
+  session_timer_.reset();
+  catch_up_timer_.reset();
+  start_session(session_offset);
+  // Queue every known-missing packet for re-detection. Ordinary gap
+  // detection only looks above highest_seq, so packets whose recovery was
+  // in flight at crash time (fail() discarded their want state) would
+  // otherwise sit in a permanent blind spot below the horizon the member
+  // already knew. The queue is released in paced batches rather than
+  // detected here all at once — see SrmConfig::catch_up_batch.
+  for (auto& [source, s] : streams_) {
+    if (originates(source)) continue;
+    for (net::SeqNo seq = 0; seq <= s.highest_seq; ++seq)
+      if (!has_packet(source, seq)) catch_up_queue_.emplace_back(source, seq);
+  }
+  // The packets missed *while* down sit above highest_seq and surface on
+  // the first post-recovery data arrival or session advert; flag the next
+  // horizon advance so note_new_sequence paces that bulk gap too.
+  resync_pending_ = true;
+  if (!catch_up_queue_.empty()) release_catch_up_batch();
+}
+
+void SrmAgent::release_catch_up_batch() {
+  if (failed_) {
+    ++stats_.zombie_timer_fires;
+    return;
+  }
+  const std::size_t batch = config_.catch_up_batch > 0
+                                ? static_cast<std::size_t>(config_.catch_up_batch)
+                                : catch_up_queue_.size();
+  std::size_t released = 0;
+  while (catch_up_next_ < catch_up_queue_.size() && released < batch) {
+    const auto [source, seq] = catch_up_queue_[catch_up_next_++];
+    // A repair overheard since recover() — typically one triggered by
+    // another member rejoining from the same outage — may have filled the
+    // gap already; only still-missing packets consume batch slots.
+    if (detect_loss(source, seq, /*suppressed=*/false) != nullptr) ++released;
+  }
+  if (catch_up_next_ < catch_up_queue_.size()) {
+    if (!catch_up_timer_) {
+      catch_up_timer_ = std::make_unique<sim::Timer>(
+          sim_, [this] { release_catch_up_batch(); });
+    }
+    catch_up_timer_->arm(config_.catch_up_interval);
+  } else {
+    catch_up_queue_.clear();
+    catch_up_next_ = 0;
+  }
 }
 
 void SrmAgent::send_data(net::SeqNo seq) {
@@ -115,6 +178,14 @@ std::size_t SrmAgent::outstanding_losses() const {
   return n;
 }
 
+std::size_t SrmAgent::stalled_losses() const {
+  std::size_t n = 0;
+  for (const auto& [source, s] : streams_)
+    for (const auto& [seq, want] : s.want)
+      if (!want->request_timer || !want->request_timer->armed()) ++n;
+  return n;
+}
+
 void SrmAgent::finalize_stats() {
   for (auto& [source, s] : streams_) {
     for (const auto& [seq, want] : s.want) {
@@ -174,11 +245,27 @@ void SrmAgent::on_packet(const net::Packet& pkt) {
 void SrmAgent::note_new_sequence(net::NodeId source, net::SeqNo seq) {
   if (originates(source)) return;
   StreamState& s = stream(source);
-  // Everything up to `seq` exists; any packet in (highest_seq, seq] we do
+  if (seq <= s.highest_seq) return;
+  const net::SeqNo first = s.highest_seq + 1;
+  s.highest_seq = seq;
+  if (resync_pending_) {
+    // First advance of the sequence horizon after recover(): the gap spans
+    // everything missed while down, potentially hundreds of packets. Route
+    // it through the paced catch-up queue — arming one request timer per
+    // packet in a single instant synchronizes the requests, defeats reply
+    // suppression, and the resulting reply implosion congests the shared
+    // 1.5 Mbps links for tens of simulated seconds.
+    resync_pending_ = false;
+    for (net::SeqNo j = first; j <= seq; ++j)
+      if (!has_packet(source, j)) catch_up_queue_.emplace_back(source, j);
+    if (!(catch_up_timer_ && catch_up_timer_->armed()))
+      release_catch_up_batch();
+    return;
+  }
+  // Everything up to `seq` exists; any packet in (old highest, seq] we do
   // not hold is a fresh loss.
-  for (net::SeqNo j = s.highest_seq + 1; j <= seq; ++j)
+  for (net::SeqNo j = first; j <= seq; ++j)
     if (!has_packet(source, j)) detect_loss(source, j, /*suppressed=*/false);
-  s.highest_seq = std::max(s.highest_seq, seq);
 }
 
 SrmAgent::WantState* SrmAgent::detect_loss(net::NodeId source,
@@ -284,7 +371,10 @@ sim::SimTime SrmAgent::draw_request_delay(net::NodeId source, int k) {
 }
 
 void SrmAgent::request_timer_fired(net::NodeId source, net::SeqNo seq) {
-  if (failed_) return;
+  if (failed_) {
+    ++stats_.zombie_timer_fires;
+    return;
+  }
   StreamState& s = stream(source);
   const auto it = s.want.find(seq);
   CESRM_CHECK_MSG(it != s.want.end(), "request timer for unknown loss");
@@ -370,7 +460,10 @@ SrmAgent::ReplyState& SrmAgent::reply_state(net::NodeId source,
 }
 
 void SrmAgent::reply_timer_fired(net::NodeId source, net::SeqNo seq) {
-  if (failed_) return;
+  if (failed_) {
+    ++stats_.zombie_timer_fires;
+    return;
+  }
   ReplyState& rs = reply_state(source, seq);
   CESRM_CHECK(rs.scheduled);
   rs.scheduled = false;
@@ -425,7 +518,10 @@ void SrmAgent::handle_reply(const net::Packet& pkt) {
 // ---------------------------------------------------------------------------
 
 void SrmAgent::session_timer_fired() {
-  if (failed_) return;
+  if (failed_) {
+    ++stats_.zombie_timer_fires;
+    return;
+  }
   auto payload = std::make_shared<net::SessionPayload>();
   payload->stamp = sim_.now();
   for (const auto& [source, s] : streams_) {

@@ -23,7 +23,13 @@
 //
 // Members can be failed mid-simulation (fail()): a failed member neither
 // processes packets nor fires timers — the crash model behind the §3.3
-// membership-churn experiments.
+// membership-churn experiments. fail() cancels every pending timer the
+// member owns (request, reply, expedited, session), so a crashed member
+// leaves no events in the simulator; any callback that nevertheless runs
+// on a failed member is counted in HostStats::zombie_timer_fires, which
+// the fault oracle asserts to be zero. recover() rejoins a crash-recover
+// member with its reception state retained: gap detection against session
+// adverts and fresh data then recovers everything missed while down.
 //
 // CesrmAgent (src/cesrm) derives from this class and adds the expedited
 // recovery scheme through the protected virtual hooks; the base class
@@ -89,6 +95,13 @@ struct HostStats {
   /// RecoveryRecord; losses_detected + repairs_before_detection equals the
   /// number of data packets this host failed to receive originally.
   std::uint64_t repairs_before_detection = 0;
+  /// Timer callbacks that ran on a failed member. fail() cancels every
+  /// pending timer, so this stays zero unless the cancellation hardening
+  /// regresses; the fault oracle checks it.
+  std::uint64_t zombie_timer_fires = 0;
+  /// Losses whose recovery state was discarded because the member crashed
+  /// while they were outstanding (they appear in no RecoveryRecord).
+  std::uint64_t losses_abandoned_at_crash = 0;
   std::vector<RecoveryRecord> recoveries;
 };
 
@@ -116,9 +129,15 @@ class SrmAgent : public net::Agent {
   void send_data(net::SeqNo seq);
 
   /// Crash-stops this member (§3.3 churn experiments): all subsequent
-  /// packets are ignored, timers become inert, and the session stops.
-  /// Irreversible (a rejoining member would be a new instance in SRM).
+  /// packets are ignored, every pending timer is cancelled (request,
+  /// reply, expedited, session), and the recovery state of outstanding
+  /// losses is discarded (counted in losses_abandoned_at_crash).
+  /// Reversible only through recover().
   void fail();
+  /// Rejoins a crash-recover member: reception state is retained, so gap
+  /// detection against session adverts and new data recovers everything
+  /// missed while down. The session restarts at now + session_offset.
+  void recover(sim::SimTime session_offset = sim::SimTime::zero());
   bool failed() const { return failed_; }
 
   // net::Agent
@@ -156,6 +175,19 @@ class SrmAgent : public net::Agent {
 
   /// Losses detected but not yet recovered, over all streams.
   std::size_t outstanding_losses() const;
+
+  /// Known-missing packets still queued for paced re-detection after a
+  /// recover() (zero whenever the member is fully caught up).
+  std::size_t catch_up_pending() const {
+    return catch_up_queue_.size() - catch_up_next_;
+  }
+
+  /// Outstanding losses whose request timer is not armed. The SRM request
+  /// state machine keeps exactly one armed request timer per outstanding
+  /// loss (it re-arms on every expiry), so a non-zero count means recovery
+  /// of those packets can never make progress again — the stall condition
+  /// the fault oracle's liveness watchdog checks for.
+  std::size_t stalled_losses() const;
 
   /// Adaptive-timer controllers (null when adaptive_timers is off).
   const AdaptiveController* request_controller() const {
@@ -238,6 +270,9 @@ class SrmAgent : public net::Agent {
   void handle_reply(const net::Packet& pkt);
   void reply_timer_fired(net::NodeId source, net::SeqNo seq);
   void session_timer_fired();
+  /// Releases the next catch_up_batch queued re-detections and re-arms
+  /// the catch-up timer while any remain (see SrmConfig::catch_up_batch).
+  void release_catch_up_batch();
   /// Everything up to `seq` exists on `source`'s stream: detect any gap.
   void note_new_sequence(net::NodeId source, net::SeqNo seq);
   void mark_received(const net::Packet& via);
@@ -256,6 +291,14 @@ class SrmAgent : public net::Agent {
 
   std::map<net::NodeId, StreamState> streams_;  ///< keyed by source id
   std::unique_ptr<sim::Timer> session_timer_;
+  /// Paced crash-recovery catch-up: missing packets queued at recover(),
+  /// consumed front-to-back by release_catch_up_batch().
+  std::vector<std::pair<net::NodeId, net::SeqNo>> catch_up_queue_;
+  std::size_t catch_up_next_ = 0;
+  std::unique_ptr<sim::Timer> catch_up_timer_;
+  /// Set by recover(): the next sequence-horizon advance is the bulk gap
+  /// of everything missed while down and is paced, not detected at once.
+  bool resync_pending_ = false;
   std::unique_ptr<AdaptiveController> req_ctrl_;  ///< adaptive C1/C2
   std::unique_ptr<AdaptiveController> rep_ctrl_;  ///< adaptive D1/D2
 };

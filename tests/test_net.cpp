@@ -470,5 +470,112 @@ TEST(Network, PathDelayIsSymmetricAndAdditive) {
   EXPECT_EQ(f.network.path_delay(3, 3), sim::SimTime::zero());
 }
 
+// ------------------------------------------------- link state (faults) ----
+
+TEST(Network, DownLinkDropsBothDirections) {
+  NetFixture f;
+  f.network.set_link_up(1, false);
+  EXPECT_FALSE(f.network.link_up(1));
+  // Downstream: a flood from the root is cut below link 1.
+  f.network.multicast(0, make_data_packet(0, 0));
+  f.sim.run();
+  EXPECT_TRUE(f.agents[3]->deliveries.empty());
+  EXPECT_TRUE(f.agents[4]->deliveries.empty());
+  EXPECT_EQ(f.agents[5]->deliveries.size(), 1u);
+  // Upstream: a flood from leaf 3 reaches sibling 4 through router 1 but
+  // dies on the same down link before the root.
+  f.network.multicast(3, make_request_packet(3, 0, 0, 0.0));
+  f.sim.run();
+  EXPECT_EQ(f.agents[4]->deliveries.size(), 1u);
+  EXPECT_TRUE(f.agents[0]->deliveries.empty());
+  EXPECT_EQ(f.network.crossings().dropped[static_cast<std::size_t>(
+                PacketType::kRequest)],
+            1u);
+}
+
+TEST(Network, LinkUpRestoresDelivery) {
+  NetFixture f;
+  f.network.set_link_up(1, false);
+  f.network.multicast(0, make_data_packet(0, 0));
+  f.sim.run();
+  EXPECT_TRUE(f.agents[3]->deliveries.empty());
+  // Heal the partition: traffic flows again, timing unchanged.
+  f.network.set_link_up(1, true);
+  const sim::SimTime healed = f.sim.now();
+  f.network.multicast(0, make_data_packet(0, 1));
+  f.sim.run();
+  ASSERT_EQ(f.agents[3]->deliveries.size(), 1u);
+  EXPECT_EQ(f.agents[3]->deliveries[0].pkt.seq, 1);
+  EXPECT_GT(f.agents[3]->deliveries[0].at, healed);
+}
+
+TEST(Network, LinkStateRejectsNonLinks) {
+  NetFixture f;
+  EXPECT_THROW(f.network.set_link_up(0, false), util::CheckError);  // root
+  EXPECT_THROW(f.network.set_link_up(99, false), util::CheckError);
+  EXPECT_THROW(f.network.link_up(-1), util::CheckError);
+}
+
+TEST(Network, DownLinkBlocksSubcastLeg) {
+  NetFixture f;
+  f.network.set_link_up(1, false);
+  // Router-assist delivery whose unicast leg crosses the down link: the
+  // packet dies en route and no subcast happens.
+  f.network.unicast_subcast(0, 1, make_data_packet(0, 0));
+  f.sim.run();
+  EXPECT_TRUE(f.agents[3]->deliveries.empty());
+  EXPECT_TRUE(f.agents[4]->deliveries.empty());
+}
+
+// ------------------------------------------------ perturbation (faults) ----
+
+TEST(Network, PerturbDuplicateDeliversTwice) {
+  NetFixture f;
+  f.network.set_perturb_fn([](const Packet& pkt, NodeId, NodeId) {
+    Perturbation p;
+    p.duplicate = pkt.type == PacketType::kData;
+    return p;
+  });
+  f.network.multicast(0, make_data_packet(0, 0));
+  f.sim.run();
+  // Every crossing duplicates, so leaf 3 (2 hops) sees 1 + the copies
+  // that fan out along its path; at least two deliveries must arrive.
+  EXPECT_GE(f.agents[3]->deliveries.size(), 2u);
+  EXPECT_GT(f.network.crossings()
+                .duplicated[static_cast<std::size_t>(PacketType::kData)],
+            0u);
+}
+
+TEST(Network, PerturbExtraDelayShiftsArrival) {
+  NetworkConfig cfg;
+  cfg.link_delay = sim::SimTime::millis(20);
+  cfg.model_bandwidth = false;
+  NetFixture f(cfg);
+  f.network.set_perturb_fn([](const Packet&, NodeId, NodeId) {
+    Perturbation p;
+    p.extra_delay = sim::SimTime::millis(5);
+    return p;
+  });
+  f.network.multicast(0, make_request_packet(0, 0, 0, 0.0));
+  f.sim.run();
+  // Two hops to node 3, each +5 ms jitter: 40 + 10 ms.
+  ASSERT_EQ(f.agents[3]->deliveries.size(), 1u);
+  EXPECT_EQ(f.agents[3]->deliveries[0].at, sim::SimTime::millis(50));
+}
+
+TEST(Network, PerturbNeverAppliesToDroppedPackets) {
+  NetFixture f;
+  std::size_t perturb_calls = 0;
+  f.network.set_drop_fn(
+      [](const Packet&, NodeId, NodeId) { return true; });
+  f.network.set_perturb_fn([&](const Packet&, NodeId, NodeId) {
+    ++perturb_calls;
+    return Perturbation{};
+  });
+  f.network.multicast(0, make_data_packet(0, 0));
+  f.sim.run();
+  EXPECT_EQ(perturb_calls, 0u);
+}
+
 }  // namespace
 }  // namespace cesrm::net

@@ -298,5 +298,47 @@ TEST(Timer, ArmAtAbsoluteTime) {
   EXPECT_DOUBLE_EQ(fired_at, 9.0);
 }
 
+TEST(Timer, DisableCancelsPendingExpiry) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.arm(SimTime::millis(3));
+  EXPECT_TRUE(t.armed());
+  t.disable();
+  EXPECT_TRUE(t.disabled());
+  EXPECT_FALSE(t.armed());
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, DisabledTimerIgnoresArm) {
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] { ++fired; });
+  t.disable();
+  t.arm(SimTime::millis(1));
+  t.arm_at(SimTime::millis(5));
+  EXPECT_FALSE(t.armed());
+  sim.run();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(Timer, DisableFromOwnCallbackStopsRearmLoop) {
+  // A crash-stop mid-simulation disables timers from inside agent code that
+  // may be running in the timer's own callback; the self-rearm must not
+  // resurrect the timer afterwards.
+  Simulator sim;
+  int fired = 0;
+  Timer t(sim, [&] {
+    ++fired;
+    if (fired == 2) t.disable();
+    t.arm(SimTime::millis(1));
+  });
+  t.arm(SimTime::millis(1));
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_TRUE(t.disabled());
+}
+
 }  // namespace
 }  // namespace cesrm::sim
