@@ -1,8 +1,10 @@
 #include "bench_common.hpp"
 
+#include <fstream>
 #include <iostream>
 
 #include "infer/link_estimator.hpp"
+#include "util/logging.hpp"
 
 namespace cesrm::bench {
 
@@ -20,6 +22,14 @@ void add_common_flags(util::CliFlags& flags,
                 "parallel experiment workers (0 = hardware concurrency)");
   flags.add_string("json", "",
                    "also write machine-readable results to this file");
+  flags.add_string("trace-out", "",
+                   "write the protocol-event trace here (Chrome trace_event "
+                   "JSON; JSONL when the path ends in .jsonl)");
+  flags.add_string("metrics-out", "",
+                   "write merged run metrics (counters/gauges/histograms) "
+                   "here as JSON");
+  flags.add_string("log-level", "warn",
+                   "log threshold: trace|debug|info|warn|error|off");
 }
 
 bool read_common_flags(const util::CliFlags& flags, BenchOptions* out) {
@@ -49,6 +59,16 @@ bool read_common_flags(const util::CliFlags& flags, BenchOptions* out) {
   out->base.seed = out->seed;
   out->base.network.link_delay = sim::SimTime::millis(out->link_delay_ms);
   out->base.lossy_recovery = flags.get_bool("lossy-recovery");
+  util::set_log_threshold(util::parse_log_level(flags.get_string("log-level")));
+  const std::string trace_out = flags.get_string("trace-out");
+  const std::string metrics_out = flags.get_string("metrics-out");
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    out->obs = std::make_shared<ObsAccumulator>();
+    out->obs->trace_path = trace_out;
+    out->obs->metrics_path = metrics_out;
+    out->base.observe.trace = !trace_out.empty();
+    out->base.observe.metrics = !metrics_out.empty();
+  }
   return true;
 }
 
@@ -95,6 +115,23 @@ std::vector<harness::JobOutcome> run_jobs(
   if (sink != nullptr)
     for (const auto& outcome : outcomes)
       sink->add(outcome.result, outcome.wall_seconds, outcome.label);
+  if (opts.obs) {
+    // Outcomes come back in job order, so accumulation — and therefore the
+    // artifact files — are byte-identical for any --jobs value.
+    for (const auto& outcome : outcomes) {
+      std::string name = outcome.result.trace_name;
+      name += '/';
+      name += protocol_name(outcome.protocol);
+      if (!outcome.label.empty()) {
+        name += '/';
+        name += outcome.label;
+      }
+      if (outcome.result.events)
+        opts.obs->captures.push_back({std::move(name), outcome.result.events});
+      opts.obs->metrics.merge(outcome.result.metrics);
+    }
+    write_obs_artifacts(*opts.obs);
+  }
   return outcomes;
 }
 
@@ -147,6 +184,33 @@ void write_json(const BenchOptions& opts,
               << "\n";
   } else {
     std::cerr << "error: could not write " << opts.json_path << "\n";
+  }
+}
+
+void write_obs_artifacts(const ObsAccumulator& acc) {
+  if (!acc.trace_path.empty()) {
+    std::ofstream out(acc.trace_path);
+    if (!out) {
+      std::cerr << "error: could not write " << acc.trace_path << "\n";
+    } else if (acc.trace_path.ends_with(".jsonl")) {
+      for (const auto& capture : acc.captures)
+        obs::write_events_jsonl(out, *capture.events);
+    } else {
+      std::vector<obs::ChromeTraceJob> trace_jobs;
+      trace_jobs.reserve(acc.captures.size());
+      for (const auto& capture : acc.captures)
+        trace_jobs.push_back({capture.name, *capture.events});
+      obs::write_chrome_trace(out, trace_jobs);
+    }
+  }
+  if (!acc.metrics_path.empty()) {
+    std::ofstream out(acc.metrics_path);
+    if (!out) {
+      std::cerr << "error: could not write " << acc.metrics_path << "\n";
+    } else {
+      acc.metrics.to_json(out);
+      out << "\n";
+    }
   }
 }
 

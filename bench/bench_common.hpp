@@ -12,6 +12,7 @@
 // dump machine-readable results (--json=FILE).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +20,7 @@
 #include "harness/reports.hpp"
 #include "harness/runner.hpp"
 #include "infer/link_trace.hpp"
+#include "obs/export.hpp"
 #include "trace/catalog.hpp"
 #include "trace/trace_generator.hpp"
 #include "util/cli.hpp"
@@ -39,6 +41,21 @@ struct TraceRun {
   const trace::LossTrace& loss() const { return trace->loss(); }
 };
 
+/// Accumulates observability artifacts across every run_jobs() call of a
+/// bench invocation (some benches sweep in several batches). Captures are
+/// appended and metrics merged strictly in job order; the output files are
+/// rewritten after each batch, so the last batch leaves them complete.
+struct ObsAccumulator {
+  std::string trace_path;    // --trace-out=FILE ("" = off)
+  std::string metrics_path;  // --metrics-out=FILE ("" = off)
+  struct Capture {
+    std::string name;  ///< "trace/protocol[/label]" process label
+    std::shared_ptr<const std::vector<obs::TraceEvent>> events;
+  };
+  std::vector<Capture> captures;
+  obs::MetricsSnapshot metrics;
+};
+
 /// Common bench options parsed from the command line.
 struct BenchOptions {
   std::vector<int> trace_ids;      // which Table-1 traces to run
@@ -48,6 +65,9 @@ struct BenchOptions {
   unsigned jobs = 0;               // worker threads; 0 = hardware
   std::string json_path;           // --json=FILE ("" = no JSON output)
   harness::ExperimentConfig base;  // assembled from the flags
+  /// Non-null when --trace-out/--metrics-out asked for artifacts; shared
+  /// so run_jobs can accumulate through the const BenchOptions& it takes.
+  std::shared_ptr<ObsAccumulator> obs;
 };
 
 /// Registers the common flags on `flags`.
@@ -88,5 +108,11 @@ void print_header(const std::string& what, const BenchOptions& opts);
 /// Writes the sink to opts.json_path when set (stderr note on success,
 /// error on failure).
 void write_json(const BenchOptions& opts, const harness::JsonResultSink& sink);
+
+/// (Re)writes the accumulated observability artifacts: the event capture
+/// to acc.trace_path (Chrome trace_event JSON, or JSONL when the path
+/// ends in ".jsonl") and the merged metrics to acc.metrics_path. Called by
+/// run_jobs after every batch; also usable directly.
+void write_obs_artifacts(const ObsAccumulator& acc);
 
 }  // namespace cesrm::bench

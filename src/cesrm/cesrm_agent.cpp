@@ -1,5 +1,6 @@
 #include "cesrm/cesrm_agent.hpp"
 
+#include "obs/trace_recorder.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -36,6 +37,12 @@ void CesrmAgent::on_loss_detected(WantState& want) {
   // (REORDER-DELAY in the future).
   const auto pair = select_pair(mutable_cache(want.source),
                                 cesrm_config_.policy);
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(),
+              pair ? obs::EventKind::kCacheHit : obs::EventKind::kCacheMiss,
+              node(), want.source, want.seq,
+              pair ? pair->replier : net::kInvalidNode,
+              pair && pair->requestor == node() ? 1 : 0);
   if (!pair || pair->requestor != node()) return;
   if (pair->replier == node() || pair->replier == net::kInvalidNode) return;
 
@@ -63,6 +70,9 @@ void CesrmAgent::exp_timer_fired(net::NodeId source, net::SeqNo seq) {
   WantState& want = *it->second;
   CESRM_CHECK(!want.recovered);
   ++stats_.exp_requests_sent;
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kExpAttempt, node(), source, seq,
+              want.exp_replier);
   net_.unicast(node(), net::make_exp_request_packet(
                            node(), want.exp_replier, source, seq,
                            want.exp_ann));
@@ -106,6 +116,9 @@ void CesrmAgent::on_exp_request(const net::Packet& pkt) {
   ann.turning_point = pkt.ann.turning_point;
 
   ++stats_.exp_replies_sent;
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kRepairSent, node(), pkt.source,
+              pkt.seq, pkt.ann.requestor, /*detail=*/1);
   const net::Packet reply =
       net::make_exp_reply_packet(node(), pkt.source, pkt.seq, ann);
   if (cesrm_config_.router_assist &&

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/trace_recorder.hpp"
 #include "util/check.hpp"
 
 namespace cesrm::fault {
@@ -36,24 +37,45 @@ void FaultScheduler::install(net::DropFn base_drop) {
     const auto it = members_.find(crash.node);
     CESRM_CHECK_MSG(it != members_.end(), "crash targets a non-member node");
     srm::SrmAgent* agent = it->second;
-    sim_.schedule_at(crash.at, [agent] { agent->fail(); });
+    sim_.schedule_at(crash.at, [this, agent, node = crash.node] {
+      if (auto* rec = sim_.recorder())
+        rec->emit(sim_.now(), obs::EventKind::kFaultApplied, node,
+                  net::kInvalidNode, net::kNoSeq, net::kInvalidNode,
+                  obs::kFaultCrash);
+      agent->fail();
+    });
     if (crash.recovers()) {
       // Draw the post-recovery session offset now so replay does not
       // depend on how many control packets the chains consumed meanwhile.
       const sim::SimTime offset = sim::SimTime::millis(
           rng_.uniform_int(0, 999));
       sim_.schedule_at(crash.recover_at,
-                       [agent, offset] { agent->recover(offset); });
+                       [this, agent, offset, node = crash.node] {
+                         if (auto* rec = sim_.recorder())
+                           rec->emit(sim_.now(),
+                                     obs::EventKind::kFaultApplied, node,
+                                     net::kInvalidNode, net::kNoSeq,
+                                     net::kInvalidNode, obs::kFaultRecover);
+                         agent->recover(offset);
+                       });
     }
   }
 
   for (const auto& outage : outages_) {
     net::Network* net = &net_;
-    sim_.schedule_at(outage.down_at, [net, link = outage.link] {
+    sim_.schedule_at(outage.down_at, [this, net, link = outage.link] {
+      if (auto* rec = sim_.recorder())
+        rec->emit(sim_.now(), obs::EventKind::kFaultApplied, link,
+                  net::kInvalidNode, net::kNoSeq, net::kInvalidNode,
+                  obs::kFaultLinkDown);
       net->set_link_up(link, false);
     });
     if (outage.heals())
-      sim_.schedule_at(outage.up_at, [net, link = outage.link] {
+      sim_.schedule_at(outage.up_at, [this, net, link = outage.link] {
+        if (auto* rec = sim_.recorder())
+          rec->emit(sim_.now(), obs::EventKind::kFaultApplied, link,
+                    net::kInvalidNode, net::kNoSeq, net::kInvalidNode,
+                    obs::kFaultLinkUp);
         net->set_link_up(link, true);
       });
   }

@@ -84,6 +84,16 @@ ExperimentResult run_experiment_impl(
     const ExperimentConfig& config) {
   const auto& tree = loss_trace.tree();
   sim::Simulator sim;
+
+  // Observability: the recorder outlives the run (agents emit during
+  // stop_session/finalize too) and must attach before any event fires.
+  std::optional<obs::TraceRecorder> recorder;
+  if (config.observe.enabled()) {
+    recorder.emplace(config.observe);
+    sim.set_recorder(&*recorder);
+    if (config.observe.profile) sim.enable_profiling(true);
+  }
+
   net::Network network(sim, tree, config.network);
   util::Rng rng(config.seed);
 
@@ -219,6 +229,42 @@ ExperimentResult run_experiment_impl(
     result.members.push_back(std::move(m));
   }
   result.crossings = network.crossings();
+
+  if (recorder) {
+    if (config.observe.trace)
+      result.events = std::make_shared<const std::vector<obs::TraceEvent>>(
+          recorder->take_events());
+    if (config.observe.profile) result.wall_profile = sim.wall_per_sim_second();
+    if (config.observe.metrics) {
+      obs::MetricsRegistry reg;
+      for (std::size_t k = 0; k < obs::kEventKindCount; ++k) {
+        const auto kind = static_cast<obs::EventKind>(k);
+        if (const std::uint64_t n = recorder->count(kind))
+          reg.add(std::string("events.") + obs::event_kind_name(kind), n);
+      }
+      reg.add("sim.events_executed", sim.events_executed());
+      reg.add("sim.events_scheduled", sim.events_scheduled());
+      reg.add("sim.events_cancelled", sim.events_cancelled());
+      reg.gauge_max("sim.queue_high_water",
+                    static_cast<double>(sim.queue_high_water()));
+      reg.add("protocol.losses_detected", result.total_losses_detected());
+      reg.add("protocol.silent_repairs", result.total_silent_repairs());
+      reg.add("protocol.recovered", result.total_recovered());
+      reg.add("protocol.unrecovered", result.total_unrecovered());
+      reg.add("protocol.requests_sent", result.total_requests_sent());
+      reg.add("protocol.replies_sent", result.total_replies_sent());
+      reg.add("protocol.exp_requests_sent", result.total_exp_requests_sent());
+      reg.add("protocol.exp_replies_sent", result.total_exp_replies_sent());
+      util::Histogram& lat =
+          reg.histogram("recovery.latency_norm", 0.0, 50.0, 100);
+      for (const auto& m : result.members) {
+        if (m.is_source || m.rtt_to_source <= 0.0) continue;
+        for (const auto& r : m.stats.recoveries)
+          if (r.recovered) lat.add(r.latency_seconds() / m.rtt_to_source);
+      }
+      result.metrics = reg.take();
+    }
+  }
   return result;
 }
 

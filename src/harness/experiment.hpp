@@ -21,6 +21,8 @@
 #include "fault/fault_plan.hpp"
 #include "infer/link_trace.hpp"
 #include "net/network.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace_recorder.hpp"
 #include "protocol.hpp"
 #include "srm/srm_agent.hpp"
 #include "trace/loss_trace.hpp"
@@ -54,6 +56,10 @@ struct ExperimentConfig {
   /// Extra time budget after the nominal horizon for faulted runs; the
   /// plan's own horizon_slack() is always added on top of this.
   sim::SimTime fault_settle = sim::SimTime::zero();
+  /// Observability switches (all off by default — the protocol hooks then
+  /// compile down to a null-pointer check and the run's behaviour and
+  /// output are identical to a build without the obs subsystem).
+  obs::ObsConfig observe;
 };
 
 /// Per-member outcome. Members are ordered source first, then receivers
@@ -76,6 +82,15 @@ struct ExperimentResult {
   std::uint64_t events_executed = 0;
   sim::SimTime sim_end;
   net::SeqNo packets_sent = 0;
+  /// Captured protocol-event trace (only when config.observe.trace; shared
+  /// so copies of the result stay cheap). Null when tracing was off.
+  std::shared_ptr<const std::vector<obs::TraceEvent>> events;
+  /// Named counters/gauges/histograms (only when config.observe.metrics;
+  /// empty otherwise). Deterministic: keyed by sim-time quantities only.
+  obs::MetricsSnapshot metrics;
+  /// Wall seconds spent per completed sim-second (only when
+  /// config.observe.profile). Wall-clock — never exported to artifacts.
+  std::vector<double> wall_profile;
 
   const MemberResult& source() const { return members.front(); }
   /// Receivers only — a zero-copy view over members[1..] (members are

@@ -1,11 +1,10 @@
 #include "harness/reports.hpp"
 
-#include <cmath>
-#include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace cesrm::harness {
 
@@ -157,42 +156,8 @@ Fig5Stats figure5(const ExperimentResult& srm, const ExperimentResult& cesrm) {
 
 // --------------------------------------------------------------- JSON ------
 
-namespace {
-
-void json_escape(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-void json_double(std::ostream& os, double v) {
-  if (!std::isfinite(v)) {
-    os << "null";
-    return;
-  }
-  std::ostringstream tmp;  // shortest locale-independent representation
-  tmp.imbue(std::locale::classic());
-  tmp.precision(17);
-  tmp << v;
-  os << tmp.str();
-}
-
-}  // namespace
+using util::json_double;
+using util::json_escape;
 
 std::string to_json(const ExperimentResult& result, double wall_seconds,
                     const std::string& label) {

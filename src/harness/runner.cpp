@@ -132,6 +132,12 @@ std::uint64_t derive_job_seed(std::uint64_t base_seed,
   return util::splitmix64(h);
 }
 
+obs::MetricsSnapshot merged_metrics(const std::vector<JobOutcome>& outcomes) {
+  obs::MetricsSnapshot merged;
+  for (const JobOutcome& out : outcomes) merged.merge(out.result.metrics);
+  return merged;
+}
+
 // ------------------------------------------------------ ExperimentRunner ----
 
 ExperimentRunner::ExperimentRunner(RunnerOptions options)

@@ -108,6 +108,11 @@ std::uint64_t derive_job_seed(std::uint64_t base_seed,
                               const std::string& trace_name,
                               Protocol protocol);
 
+/// Folds every outcome's metrics snapshot into one, strictly in job order
+/// (outcomes are already in job order) — the reason a sweep's merged
+/// metrics are byte-identical for any --jobs value.
+obs::MetricsSnapshot merged_metrics(const std::vector<JobOutcome>& outcomes);
+
 struct RunnerOptions {
   /// Worker threads; 0 = hardware concurrency (at least 1).
   unsigned jobs = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_recorder.hpp"
 #include "util/check.hpp"
 
 namespace cesrm::lms {
@@ -42,6 +43,9 @@ void LmsAgent::send_lms_request(net::NodeId source, net::SeqNo seq) {
     ann.dist_replier_requestor = distance_to(route->replier);
     ann.turning_point = route->router;
     ++stats_.exp_requests_sent;
+    if (auto* rec = sim_.recorder())
+      rec->emit(sim_.now(), obs::EventKind::kExpAttempt, node(), source, seq,
+                route->replier, /*detail=*/level);
     net_.unicast(node(), net::make_exp_request_packet(
                              node(), route->replier, source, seq, ann));
   }
@@ -85,6 +89,9 @@ void LmsAgent::on_exp_request(const net::Packet& pkt) {
   ann.turning_point = pkt.ann.turning_point;
 
   ++stats_.exp_replies_sent;
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kRepairSent, node(), pkt.source,
+              pkt.seq, pkt.ann.requestor, /*detail=*/1);
   const net::Packet reply =
       net::make_exp_reply_packet(node(), pkt.source, pkt.seq, ann);
   // LMS always delivers via the turning-point router (unicast + subcast);

@@ -1,8 +1,18 @@
 #include "net/network.hpp"
 
+#include "obs/trace_recorder.hpp"
 #include "util/check.hpp"
 
 namespace cesrm::net {
+
+namespace {
+void record_drop(sim::Simulator& sim, const Packet& pkt, NodeId from,
+                 NodeId to) {
+  if (auto* rec = sim.recorder())
+    rec->emit(sim.now(), obs::EventKind::kPacketDropped, to, pkt.source,
+              pkt.seq, from, static_cast<std::int64_t>(pkt.type));
+}
+}  // namespace
 
 Network::Network(sim::Simulator& sim, const MulticastTree& tree,
                  NetworkConfig config)
@@ -68,10 +78,12 @@ void Network::send_hop(NodeId from, NodeId to, Packet pkt, Mode mode) {
   const LinkId link = tree_.parent(to) == from ? to : from;
   if (!link_up_[static_cast<std::size_t>(link)]) {
     ++stats_.dropped[type_idx];
+    record_drop(sim_, pkt, from, to);
     return;
   }
   if (drop_fn_ && drop_fn_(pkt, from, to)) {
     ++stats_.dropped[type_idx];
+    record_drop(sim_, pkt, from, to);
     return;
   }
   sim::SimTime arrival = transmit(from, to, pkt.size_bytes);
@@ -209,10 +221,12 @@ void Network::unicast_subcast(NodeId from, NodeId router, const Packet& pkt) {
     const LinkId leg_link = tree_.parent(next) == cur ? next : cur;
     if (!link_up_[static_cast<std::size_t>(leg_link)]) {
       ++stats_.dropped[type_idx];
+      record_drop(sim_, leg, cur, next);
       return;  // leg lost on a downed link: no subcast happens
     }
     if (drop_fn_ && drop_fn_(leg, cur, next)) {
       ++stats_.dropped[type_idx];
+      record_drop(sim_, leg, cur, next);
       return;  // leg lost: no subcast happens
     }
     // Approximate queueing on the leg by advancing the busy horizon as of

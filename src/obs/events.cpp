@@ -1,0 +1,30 @@
+#include "obs/events.hpp"
+
+namespace cesrm::obs {
+
+const char* event_kind_name(EventKind kind) {
+  switch (kind) {
+    case EventKind::kLossDetected: return "loss_detected";
+    case EventKind::kRequestScheduled: return "request_scheduled";
+    case EventKind::kRequestSuppressed: return "request_suppressed";
+    case EventKind::kRequestSent: return "request_sent";
+    case EventKind::kRepairScheduled: return "repair_scheduled";
+    case EventKind::kRepairSuppressed: return "repair_suppressed";
+    case EventKind::kRepairSent: return "repair_sent";
+    case EventKind::kExpAttempt: return "exp_attempt";
+    case EventKind::kCacheHit: return "cache_hit";
+    case EventKind::kCacheMiss: return "cache_miss";
+    case EventKind::kExpSuccess: return "exp_success";
+    case EventKind::kExpFallback: return "exp_fallback";
+    case EventKind::kRecovered: return "recovered";
+    case EventKind::kDuplicateRepair: return "duplicate_repair";
+    case EventKind::kRepairBeforeDetection: return "repair_before_detection";
+    case EventKind::kSessionSent: return "session_sent";
+    case EventKind::kPacketDropped: return "packet_dropped";
+    case EventKind::kFaultApplied: return "fault_applied";
+    case EventKind::kCount: break;
+  }
+  return "?";
+}
+
+}  // namespace cesrm::obs

@@ -1,0 +1,82 @@
+// events.hpp — the typed protocol-event vocabulary of the tracing subsystem.
+//
+// Every hook point in the protocol agents, the network, and the fault
+// scheduler emits one of these kinds with a sim-time stamp and the ids
+// that identify the affected loss (acting node, stream source, sequence
+// number, optional peer). The vocabulary is deliberately small and stable:
+// the recovery-timeline reconstructor (timeline.hpp) folds the stream into
+// per-loss lifecycles whose totals reconcile exactly with HostStats, so a
+// new kind must either be lifecycle-neutral or taught to the reconstructor.
+#pragma once
+
+#include <cstdint>
+
+#include "net/ids.hpp"
+#include "sim/time.hpp"
+
+namespace cesrm::obs {
+
+enum class EventKind : std::uint8_t {
+  // Request side (SRM §2.1). Exactly one kLossDetected per WantState
+  // creation — the event-level mirror of HostStats::losses_detected.
+  kLossDetected = 0,     ///< detail: 1 when detected via a foreign request
+  kRequestScheduled,     ///< request timer (re)armed; detail: back-off round
+  kRequestSuppressed,    ///< backed off on a foreign request; detail: round
+  kRequestSent,          ///< multicast request; detail: back-off round
+
+  // Reply side (SRM §2.2).
+  kRepairScheduled,      ///< reply timer armed; peer: requestor
+  kRepairSuppressed,     ///< scheduled reply cancelled; peer: replier heard
+  kRepairSent,           ///< repair sent; peer: requestor; detail: 1 = expedited
+
+  // Expedited recovery (CESRM §3; LMS directed requests share the kinds).
+  kExpAttempt,           ///< expedited/LMS request sent; peer: replier
+  kCacheHit,             ///< select_pair found a tuple; peer: its replier;
+                         ///< detail: 1 when the pair names us requestor
+  kCacheMiss,            ///< cache had no usable tuple for the loss
+
+  // Recovery outcomes — exactly one per RecoveryRecord created by
+  // mark_received(): the reconstructor's closing events.
+  kExpSuccess,           ///< recovered by an expedited reply; peer: replier
+  kExpFallback,          ///< recovered reactively after an expedited attempt
+  kRecovered,            ///< recovered reactively, no expedited attempt
+  kDuplicateRepair,      ///< repair for a packet already held; peer: sender
+  kRepairBeforeDetection,///< repair outran gap detection (silent repair)
+
+  // Environment.
+  kSessionSent,          ///< periodic session message multicast
+  kPacketDropped,        ///< link crossing lost; node: to, peer: from,
+                         ///< detail: PacketType
+  kFaultApplied,         ///< detail: FaultDetail; node: member or link child
+
+  kCount,
+};
+
+inline constexpr std::size_t kEventKindCount =
+    static_cast<std::size_t>(EventKind::kCount);
+
+/// detail codes of kFaultApplied.
+enum FaultDetail : std::int64_t {
+  kFaultCrash = 0,
+  kFaultRecover = 1,
+  kFaultLinkDown = 2,
+  kFaultLinkUp = 3,
+};
+
+/// Stable snake_case name, used by both exporters and metric names.
+const char* event_kind_name(EventKind kind);
+
+/// One recorded protocol event. Only sim-time and ids — no wall-clock
+/// data — so recorded streams are bit-identical across replays and worker
+/// counts.
+struct TraceEvent {
+  sim::SimTime at;
+  EventKind kind = EventKind::kCount;
+  net::NodeId node = net::kInvalidNode;    ///< acting member (or link child)
+  net::NodeId source = net::kInvalidNode;  ///< stream the packet belongs to
+  net::SeqNo seq = net::kNoSeq;
+  net::NodeId peer = net::kInvalidNode;    ///< kind-specific counterpart
+  std::int64_t detail = 0;                 ///< kind-specific extra
+};
+
+}  // namespace cesrm::obs

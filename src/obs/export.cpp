@@ -1,0 +1,86 @@
+#include "obs/export.hpp"
+
+#include "obs/timeline.hpp"
+#include "util/json.hpp"
+
+namespace cesrm::obs {
+
+namespace {
+
+/// Chrome traces use microsecond timestamps; keep sub-µs precision as a
+/// fraction (json_double is locale-independent and deterministic).
+void json_micros(std::ostream& os, sim::SimTime t) {
+  util::json_double(os, static_cast<double>(t.ns()) / 1000.0);
+}
+
+void event_args(std::ostream& os, const TraceEvent& e) {
+  os << "{\"source\":" << e.source << ",\"seq\":" << e.seq
+     << ",\"peer\":" << e.peer << ",\"detail\":" << e.detail << '}';
+}
+
+}  // namespace
+
+void write_events_jsonl(std::ostream& os, std::span<const TraceEvent> events) {
+  for (const TraceEvent& e : events) {
+    os << "{\"ts_us\":";
+    json_micros(os, e.at);
+    os << ",\"kind\":";
+    util::json_escape(os, event_kind_name(e.kind));
+    os << ",\"node\":" << e.node << ",\"source\":" << e.source
+       << ",\"seq\":" << e.seq << ",\"peer\":" << e.peer
+       << ",\"detail\":" << e.detail << "}\n";
+  }
+}
+
+void write_chrome_trace(std::ostream& os,
+                        std::span<const ChromeTraceJob> jobs) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  const auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+    os << '\n';
+  };
+
+  for (std::size_t pid = 0; pid < jobs.size(); ++pid) {
+    const ChromeTraceJob& job = jobs[pid];
+    sep();
+    os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+       << ",\"tid\":0,\"args\":{\"name\":";
+    util::json_escape(os, job.name);
+    os << "}}";
+
+    for (const TraceEvent& e : job.events) {
+      sep();
+      os << "{\"name\":";
+      util::json_escape(os, event_kind_name(e.kind));
+      os << ",\"ph\":\"i\",\"s\":\"t\",\"pid\":" << pid
+         << ",\"tid\":" << e.node << ",\"ts\":";
+      json_micros(os, e.at);
+      os << ",\"args\":";
+      event_args(os, e);
+      os << '}';
+    }
+
+    // Recovery spans: detection → delivery per recovered lifecycle.
+    const RecoveryTimeline tl = reconstruct_timeline(job.events);
+    for (const LossLifecycle& lc : tl.lifecycles) {
+      if (lc.outcome != LossOutcome::kRecovered) continue;
+      sep();
+      os << "{\"name\":\"recover " << lc.source << ':' << lc.seq
+         << "\",\"ph\":\"X\",\"pid\":" << pid << ",\"tid\":" << lc.node
+         << ",\"ts\":";
+      json_micros(os, lc.detect_time);
+      os << ",\"dur\":";
+      json_micros(os, lc.recover_time - lc.detect_time);
+      os << ",\"args\":{\"expedited\":" << (lc.expedited ? "true" : "false")
+         << ",\"requests\":" << lc.requests
+         << ",\"suppressions\":" << lc.suppressions
+         << ",\"exp_attempts\":" << lc.exp_attempts
+         << ",\"duplicates\":" << lc.duplicates << "}}";
+    }
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace cesrm::obs

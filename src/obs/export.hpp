@@ -1,0 +1,43 @@
+// export.hpp — serializers for recorded event streams.
+//
+// Two formats, one JSON emission path (util/json.hpp):
+//
+//  * JSONL — one event per line, trivially greppable/parsable; the raw
+//    material for ad-hoc analysis.
+//  * Chrome trace_event JSON ({"traceEvents":[...]}) — loadable in
+//    Perfetto / chrome://tracing. Each job of a sweep becomes a process
+//    (pid = job index, named via a process_name metadata event); each
+//    member node becomes a thread (tid = node id). Protocol events render
+//    as instants (ph "i") and every recovered loss lifecycle as a duration
+//    span (ph "X") from detection to delivery, so suppression dynamics and
+//    expedited-vs-reactive latency are visible on one timeline.
+//
+// Both outputs contain only sim-time (µs) and ids — byte-identical for a
+// given run regardless of worker count or wall-clock conditions.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace cesrm::obs {
+
+/// One event per line: {"ts_us":..,"kind":"..","node":..,...}.
+void write_events_jsonl(std::ostream& os, std::span<const TraceEvent> events);
+
+/// One job (= one experiment run) of a Chrome trace document.
+struct ChromeTraceJob {
+  std::string name;  ///< process label, e.g. "t4/srm"
+  std::span<const TraceEvent> events;
+};
+
+/// Writes a complete {"traceEvents":[...]} document: per-job process
+/// metadata, instants for every event, and recovery spans reconstructed
+/// from each job's stream.
+void write_chrome_trace(std::ostream& os,
+                        std::span<const ChromeTraceJob> jobs);
+
+}  // namespace cesrm::obs

@@ -1,0 +1,75 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+#include "util/json.hpp"
+
+namespace cesrm::obs {
+
+void MetricsSnapshot::merge(const MetricsSnapshot& other) {
+  for (const auto& [name, v] : other.counters) counters[name] += v;
+  for (const auto& [name, v] : other.gauges) {
+    auto [it, inserted] = gauges.emplace(name, v);
+    if (!inserted) it->second = std::max(it->second, v);
+  }
+  for (const auto& [name, h] : other.histograms) {
+    auto it = histograms.find(name);
+    if (it == histograms.end()) {
+      histograms.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
+}
+
+void MetricsSnapshot::to_json(std::ostream& os) const {
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    if (!first) os << ',';
+    first = false;
+    util::json_escape(os, name);
+    os << ':' << v;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    if (!first) os << ',';
+    first = false;
+    util::json_escape(os, name);
+    os << ':';
+    util::json_double(os, v);
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    if (!first) os << ',';
+    first = false;
+    util::json_escape(os, name);
+    os << ':' << h.to_json();
+  }
+  os << "}}";
+}
+
+void MetricsRegistry::add(const std::string& name, std::uint64_t delta) {
+  snap_.counters[name] += delta;
+}
+
+void MetricsRegistry::gauge_max(const std::string& name, double v) {
+  auto [it, inserted] = snap_.gauges.emplace(name, v);
+  if (!inserted) it->second = std::max(it->second, v);
+}
+
+util::Histogram& MetricsRegistry::histogram(const std::string& name, double lo,
+                                            double hi, std::size_t buckets) {
+  auto it = snap_.histograms.find(name);
+  if (it == snap_.histograms.end())
+    it = snap_.histograms.emplace(name, util::Histogram(lo, hi, buckets))
+             .first;
+  CESRM_CHECK_MSG(it->second.same_grid(util::Histogram(lo, hi, buckets)),
+                  "histogram '" << name << "' re-registered with a new grid");
+  return it->second;
+}
+
+}  // namespace cesrm::obs

@@ -1,0 +1,115 @@
+#include "obs/timeline.hpp"
+
+#include <map>
+#include <tuple>
+
+namespace cesrm::obs {
+
+namespace {
+using LossKey = std::tuple<net::NodeId, net::NodeId, net::SeqNo>;
+
+LossKey key_of(const TraceEvent& e) { return {e.node, e.source, e.seq}; }
+}  // namespace
+
+RecoveryTimeline reconstruct_timeline(std::span<const TraceEvent> events) {
+  RecoveryTimeline tl;
+  // Index into tl.lifecycles of the key's *open* lifecycle, and of its
+  // latest lifecycle of any state (duplicates arrive after closing).
+  std::map<LossKey, std::size_t> open;
+  std::map<LossKey, std::size_t> latest;
+
+  const auto close = [&](std::size_t idx, const TraceEvent& e,
+                         LossOutcome outcome) {
+    LossLifecycle& lc = tl.lifecycles[idx];
+    lc.outcome = outcome;
+    if (outcome == LossOutcome::kRecovered) {
+      lc.recover_time = e.at;
+      lc.expedited = e.kind == EventKind::kExpSuccess;
+    }
+  };
+
+  for (const TraceEvent& e : events) {
+    switch (e.kind) {
+      case EventKind::kLossDetected: {
+        LossLifecycle lc;
+        lc.node = e.node;
+        lc.source = e.source;
+        lc.seq = e.seq;
+        lc.detect_time = e.at;
+        const std::size_t idx = tl.lifecycles.size();
+        tl.lifecycles.push_back(lc);
+        open[key_of(e)] = idx;
+        latest[key_of(e)] = idx;
+        break;
+      }
+      case EventKind::kRequestSent:
+        if (auto it = open.find(key_of(e)); it != open.end()) {
+          LossLifecycle& lc = tl.lifecycles[it->second];
+          ++lc.requests;
+          if (e.at < lc.first_request_time) lc.first_request_time = e.at;
+        }
+        break;
+      case EventKind::kRequestSuppressed:
+        if (auto it = open.find(key_of(e)); it != open.end())
+          ++tl.lifecycles[it->second].suppressions;
+        break;
+      case EventKind::kExpAttempt:
+        if (auto it = open.find(key_of(e)); it != open.end()) {
+          LossLifecycle& lc = tl.lifecycles[it->second];
+          ++lc.exp_attempts;
+          lc.expedited_attempted = true;
+        }
+        break;
+      case EventKind::kExpSuccess:
+      case EventKind::kExpFallback:
+      case EventKind::kRecovered:
+        if (auto it = open.find(key_of(e)); it != open.end()) {
+          close(it->second, e, LossOutcome::kRecovered);
+          open.erase(it);
+        }
+        break;
+      case EventKind::kDuplicateRepair: {
+        ++tl.duplicate_repairs;
+        // Charge the key's latest lifecycle when one exists (duplicates of
+        // packets received originally have none).
+        if (auto it = latest.find(key_of(e)); it != latest.end())
+          ++tl.lifecycles[it->second].duplicates;
+        break;
+      }
+      case EventKind::kRepairBeforeDetection:
+        ++tl.silent_repairs;
+        break;
+      case EventKind::kFaultApplied:
+        // A crash discards every outstanding want state of that member
+        // (SrmAgent::fail()); mirror it by abandoning its open lifecycles.
+        if (e.detail == kFaultCrash) {
+          for (auto it = open.begin(); it != open.end();) {
+            if (std::get<0>(it->first) == e.node) {
+              close(it->second, e, LossOutcome::kAbandoned);
+              it = open.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+        break;
+      default:
+        break;  // lifecycle-neutral kinds
+    }
+  }
+
+  tl.losses = tl.lifecycles.size();
+  for (const LossLifecycle& lc : tl.lifecycles) {
+    switch (lc.outcome) {
+      case LossOutcome::kOpen: ++tl.unrecovered; break;
+      case LossOutcome::kRecovered:
+        ++tl.recovered;
+        if (lc.expedited) ++tl.expedited_successes;
+        break;
+      case LossOutcome::kAbandoned: ++tl.abandoned; break;
+    }
+  }
+  return tl;
+}
+
+}  // namespace cesrm::obs

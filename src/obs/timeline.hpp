@@ -1,0 +1,77 @@
+// timeline.hpp — per-loss recovery lifecycles folded from the event stream.
+//
+// reconstruct_timeline() replays a recorded TraceEvent stream and rebuilds
+// what each receiver went through for every lost packet: detection → first
+// own request → repair delivery, with expedited/reactive attribution and
+// post-recovery duplicate counts. The reconstruction is the audit trail of
+// the aggregate statistics: its totals reconcile EXACTLY with HostStats —
+//
+//   lifecycles            == Σ losses_detected
+//   outcome kRecovered    == Σ recovered RecoveryRecords
+//   outcome kOpen         == Σ unrecovered RecoveryRecords
+//   outcome kAbandoned    == Σ losses_abandoned_at_crash
+//   expedited lifecycles  == Σ expedited RecoveryRecords
+//   silent_repairs        == Σ repairs_before_detection
+//
+// (the `obs` test label asserts these equalities on real Table-1 runs).
+// A (node, source, seq) key can live through several lifecycles: a member
+// that crashes with a loss outstanding abandons it (kFaultApplied closes
+// every open lifecycle of the crashed node, mirroring fail() discarding
+// the want state) and re-detects it during catch-up, opening a new record.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace cesrm::obs {
+
+enum class LossOutcome : std::uint8_t {
+  kOpen = 0,   ///< still unrecovered when the run ended
+  kRecovered,  ///< repair delivered
+  kAbandoned,  ///< discarded when the member crashed
+};
+
+/// One loss-recovery episode at one receiver.
+struct LossLifecycle {
+  net::NodeId node = net::kInvalidNode;
+  net::NodeId source = net::kInvalidNode;
+  net::SeqNo seq = net::kNoSeq;
+  sim::SimTime detect_time;
+  /// First own request multicast (infinity when suppressed throughout).
+  sim::SimTime first_request_time = sim::SimTime::infinity();
+  /// Repair delivery (infinity unless outcome == kRecovered).
+  sim::SimTime recover_time = sim::SimTime::infinity();
+  LossOutcome outcome = LossOutcome::kOpen;
+  bool expedited = false;          ///< recovered by an expedited reply
+  bool expedited_attempted = false;
+  int requests = 0;                ///< own multicast requests sent
+  int suppressions = 0;            ///< back-offs on foreign requests
+  int exp_attempts = 0;            ///< expedited/LMS requests sent
+  int duplicates = 0;              ///< repairs received after delivery
+
+  double latency_seconds() const {
+    return (recover_time - detect_time).to_seconds();
+  }
+};
+
+/// The reconstruction plus its reconciliation totals.
+struct RecoveryTimeline {
+  std::vector<LossLifecycle> lifecycles;  ///< in detection order
+
+  std::uint64_t losses = 0;           ///< == lifecycles.size()
+  std::uint64_t recovered = 0;
+  std::uint64_t unrecovered = 0;      ///< open at end of stream
+  std::uint64_t abandoned = 0;        ///< closed by a crash
+  std::uint64_t expedited_successes = 0;
+  std::uint64_t silent_repairs = 0;   ///< repairs that beat detection
+  std::uint64_t duplicate_repairs = 0;
+};
+
+/// Folds an event stream (one run, any protocol) into lifecycles. Events
+/// must be in emission order, as recorded.
+RecoveryTimeline reconstruct_timeline(std::span<const TraceEvent> events);
+
+}  // namespace cesrm::obs

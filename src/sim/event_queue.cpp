@@ -12,10 +12,15 @@ EventId EventQueue::schedule(SimTime when, Callback cb) {
   heap_.push_back(Entry{when, id, std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   pending_.insert(id);
+  if (pending_.size() > high_water_) high_water_ = pending_.size();
   return id;
 }
 
-bool EventQueue::cancel(EventId id) { return pending_.erase(id) != 0; }
+bool EventQueue::cancel(EventId id) {
+  if (pending_.erase(id) == 0) return false;
+  ++cancelled_;
+  return true;
+}
 
 void EventQueue::drop_stale_top() {
   while (!heap_.empty() && pending_.count(heap_.front().id) == 0) {

@@ -51,6 +51,10 @@ class EventQueue {
 
   /// Total events ever scheduled (diagnostics / micro-benchmarks).
   std::uint64_t scheduled_total() const { return next_id_ - 1; }
+  /// Total events cancelled before firing.
+  std::uint64_t cancelled_total() const { return cancelled_; }
+  /// Largest number of simultaneously-pending events seen so far.
+  std::size_t high_water() const { return high_water_; }
 
  private:
   struct Entry {
@@ -70,6 +74,8 @@ class EventQueue {
   std::vector<Entry> heap_;
   std::unordered_set<EventId> pending_;
   EventId next_id_ = 1;
+  std::uint64_t cancelled_ = 0;
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace cesrm::sim

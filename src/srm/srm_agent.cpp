@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/trace_recorder.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -282,6 +283,9 @@ SrmAgent::WantState* SrmAgent::detect_loss(net::NodeId source,
   want->request_timer = std::make_unique<sim::Timer>(
       sim_, [this, source, seq] { request_timer_fired(source, seq); });
   ++stats_.losses_detected;
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kLossDetected, self_, source, seq,
+              net::kInvalidNode, suppressed ? 1 : 0);
 
   if (suppressed) {
     // Detected by hearing another host's request: our own request starts
@@ -297,6 +301,9 @@ SrmAgent::WantState* SrmAgent::detect_loss(net::NodeId source,
     want->backoff = 0;
     want->request_timer->arm(draw_request_delay(source, 0));
   }
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kRequestScheduled, self_, source,
+              seq, net::kInvalidNode, want->backoff);
   s.want.emplace(seq, std::move(state));
   on_loss_detected(*want);
   return want;
@@ -311,8 +318,12 @@ void SrmAgent::mark_received(const net::Packet& via) {
     s.received.resize(static_cast<std::size_t>(seq) + 1, false);
   if (s.received[static_cast<std::size_t>(seq)]) {
     if (via.type == net::PacketType::kReply ||
-        via.type == net::PacketType::kExpReply)
+        via.type == net::PacketType::kExpReply) {
       ++stats_.duplicate_replies_received;
+      if (auto* rec = sim_.recorder())
+        rec->emit(sim_.now(), obs::EventKind::kDuplicateRepair, self_,
+                  via.source, seq, via.sender);
+    }
     return;
   }
   s.received[static_cast<std::size_t>(seq)] = true;
@@ -328,6 +339,19 @@ void SrmAgent::mark_received(const net::Packet& via) {
     rec.expedited = via.type == net::PacketType::kExpReply;
     rec.rounds = want.backoff;
     stats_.recoveries.push_back(rec);
+    if (auto* recorder = sim_.recorder()) {
+      // Exactly one closing event per RecoveryRecord. An expedited attempt
+      // was actually sent iff the expedited timer exists and has fired
+      // (still-armed means it was beaten within REORDER-DELAY).
+      obs::EventKind kind = obs::EventKind::kRecovered;
+      if (rec.expedited) {
+        kind = obs::EventKind::kExpSuccess;
+      } else if (want.exp_timer && !want.exp_timer->armed()) {
+        kind = obs::EventKind::kExpFallback;
+      }
+      recorder->emit(sim_.now(), kind, self_, via.source, seq, via.sender,
+                     rec.rounds);
+    }
     if (want.exp_timer && want.exp_timer->armed())
       ++stats_.exp_requests_cancelled;
     // Adaptive request timers (Floyd et al. §V): feed the completed
@@ -352,6 +376,9 @@ void SrmAgent::mark_received(const net::Packet& via) {
     // A retransmission delivered a packet whose original we never saw and
     // whose loss we had not yet detected: the repair beat detection.
     ++stats_.repairs_before_detection;
+    if (auto* rec = sim_.recorder())
+      rec->emit(sim_.now(), obs::EventKind::kRepairBeforeDetection, self_,
+                via.source, seq, via.sender);
   }
   on_packet_available(via.source, seq);
 }
@@ -385,11 +412,17 @@ void SrmAgent::request_timer_fired(net::NodeId source, net::SeqNo seq) {
   ++want.requests_seen;
   if (want.first_own_request == sim::SimTime::infinity())
     want.first_own_request = sim_.now();
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kRequestSent, self_, source, seq,
+              net::kInvalidNode, want.backoff);
   net_.multicast(self_, net::make_request_packet(self_, source, seq,
                                                  distance_to(source)));
   // Schedule the next round.
   want.backoff = std::min(want.backoff + 1, config_.max_backoff);
   want.request_timer->arm(draw_request_delay(source, want.backoff));
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kRequestScheduled, self_, source,
+              seq, net::kInvalidNode, want.backoff);
   want.abstinence_until =
       sim_.now() +
       sim::SimTime::from_seconds(
@@ -401,6 +434,9 @@ void SrmAgent::backoff_request(WantState& want) {
     return;  // same recovery round: discard (§2.1 back-off abstinence)
   want.backoff = std::min(want.backoff + 1, config_.max_backoff);
   want.request_timer->arm(draw_request_delay(want.source, want.backoff));
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kRequestSuppressed, self_,
+              want.source, want.seq, net::kInvalidNode, want.backoff);
   want.abstinence_until =
       sim_.now() +
       sim::SimTime::from_seconds(
@@ -427,6 +463,9 @@ void SrmAgent::handle_request(const net::Packet& pkt) {
     const double lo = d1 * d;
     const double hi = (d1 + d2) * d;
     rs.reply_timer->arm(sim::SimTime::from_seconds(rng_.uniform(lo, hi)));
+    if (auto* rec = sim_.recorder())
+      rec->emit(sim_.now(), obs::EventKind::kRepairScheduled, self_,
+                pkt.source, pkt.seq, rs.requestor);
     return;
   }
 
@@ -475,6 +514,9 @@ void SrmAgent::reply_timer_fired(net::NodeId source, net::SeqNo seq) {
   ann.replier = self_;
   ann.dist_replier_requestor = distance_to(rs.requestor);
   ++stats_.replies_sent;
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kRepairSent, self_, source, seq,
+              rs.requestor);
   if (rep_ctrl_) {
     // Our reply went out undisturbed: a duplicate-free event, plus a delay
     // sample (scheduling delay in units of d̂hh').
@@ -501,6 +543,9 @@ void SrmAgent::handle_reply(const net::Packet& pkt) {
   if (rs.scheduled) {
     rs.scheduled = false;
     rs.reply_timer->cancel();
+    if (auto* rec = sim_.recorder())
+      rec->emit(sim_.now(), obs::EventKind::kRepairSuppressed, self_,
+                pkt.source, pkt.seq, pkt.sender);
   }
   const sim::SimTime abstinence =
       sim_.now() + sim::SimTime::from_seconds(
@@ -531,6 +576,9 @@ void SrmAgent::session_timer_fired() {
   }
   payload->echoes = dist_.build_echoes(sim_.now());
   ++stats_.session_sent;
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kSessionSent, self_,
+              primary_source_);
   net_.multicast(self_, net::make_session_packet(self_, primary_source_,
                                                  std::move(payload)));
   session_timer_->arm(config_.session_period);

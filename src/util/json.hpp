@@ -1,0 +1,23 @@
+// json.hpp — the one JSON emission path shared by every exporter.
+//
+// Hand-rolled JSON writing is scattered risk: escaping, locale-dependent
+// number formatting, and NaN handling must agree between the harness
+// result sink, the metrics/stats exporters, and the trace-event writers
+// or downstream tooling breaks on exactly one of them. These helpers are
+// that single agreed-upon path: strings escape per RFC 8259, doubles
+// print in the classic locale with shortest round-trip precision, and
+// non-finite doubles become null (JSON has no Inf/NaN).
+#pragma once
+
+#include <ostream>
+#include <string_view>
+
+namespace cesrm::util {
+
+/// Writes `s` as a quoted, escaped JSON string.
+void json_escape(std::ostream& os, std::string_view s);
+
+/// Writes `v` locale-independently; non-finite values become null.
+void json_double(std::ostream& os, double v);
+
+}  // namespace cesrm::util

@@ -1,15 +1,23 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <iostream>
+#include <mutex>
 
 namespace cesrm::util {
 
 namespace {
-LogLevel g_threshold = LogLevel::kWarn;
+// Workers in the parallel runner read the threshold on every CESRM_LOG and
+// may log concurrently; relaxed atomic reads keep the disabled path cheap
+// and the mutex keeps emitted lines whole (never torn mid-line).
+std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
+std::mutex g_emit_mutex;
 }
 
-LogLevel log_threshold() { return g_threshold; }
-void set_log_threshold(LogLevel level) { g_threshold = level; }
+LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
+void set_log_threshold(LogLevel level) {
+  g_threshold.store(level, std::memory_order_relaxed);
+}
 
 LogLevel parse_log_level(const std::string& name) {
   if (name == "trace") return LogLevel::kTrace;
@@ -38,7 +46,11 @@ namespace detail {
 LogLine::LogLine(LogLevel level) : level_(level) {}
 
 LogLine::~LogLine() {
-  std::cerr << '[' << log_level_name(level_) << "] " << os_.str() << '\n';
+  os_ << '\n';
+  const std::string line =
+      std::string("[") + log_level_name(level_) + "] " + os_.str();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
 
 }  // namespace detail

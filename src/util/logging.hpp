@@ -2,8 +2,10 @@
 //
 // Simulation code logs through CESRM_LOG(level) streams. The default
 // threshold is kWarn so experiment binaries stay quiet; tests and examples
-// raise it for debugging. Logging is deliberately synchronous and simple —
-// the simulator is single-threaded by design.
+// raise it for debugging. Each simulator is single-threaded, but the
+// parallel runner executes many simulators at once, so the threshold is
+// atomic and line emission is serialized — concurrent workers never tear
+// each other's lines.
 #pragma once
 
 #include <sstream>

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "util/check.hpp"
+#include "util/json.hpp"
 
 namespace cesrm::util {
 
@@ -97,6 +98,27 @@ double Sample::percentile(double q) const {
   return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
+std::string Sample::summary_json() const {
+  std::ostringstream os;
+  os << "{\"count\":" << values_.size();
+  os << ",\"mean\":";
+  json_double(os, mean());
+  os << ",\"min\":";
+  json_double(os, empty() ? 0.0 : min());
+  os << ",\"max\":";
+  json_double(os, empty() ? 0.0 : max());
+  os << ",\"stddev\":";
+  json_double(os, stddev());
+  os << ",\"p50\":";
+  json_double(os, empty() ? 0.0 : percentile(50.0));
+  os << ",\"p90\":";
+  json_double(os, empty() ? 0.0 : percentile(90.0));
+  os << ",\"p99\":";
+  json_double(os, empty() ? 0.0 : percentile(99.0));
+  os << "}";
+  return os.str();
+}
+
 Histogram::Histogram(double lo, double hi, std::size_t buckets)
     : lo_(lo), hi_(hi), counts_(buckets, 0) {
   CESRM_CHECK(hi > lo);
@@ -106,10 +128,25 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 void Histogram::add(double x) {
   const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
   auto idx = static_cast<std::int64_t>(std::floor((x - lo_) / width));
+  if (idx < 0) ++underflow_;
+  if (idx >= static_cast<std::int64_t>(counts_.size())) ++overflow_;
   idx = std::clamp<std::int64_t>(idx, 0,
                                  static_cast<std::int64_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+}
+
+bool Histogram::same_grid(const Histogram& other) const {
+  return lo_ == other.lo_ && hi_ == other.hi_ &&
+         counts_.size() == other.counts_.size();
+}
+
+void Histogram::merge(const Histogram& other) {
+  CESRM_CHECK(same_grid(other));
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  underflow_ += other.underflow_;
+  overflow_ += other.overflow_;
 }
 
 double Histogram::bucket_lo(std::size_t i) const {
@@ -138,6 +175,22 @@ std::string Histogram::to_string(std::size_t bar_width) const {
     }
     os << '\n';
   }
+  return os.str();
+}
+
+std::string Histogram::to_json() const {
+  std::ostringstream os;
+  os << "{\"lo\":";
+  json_double(os, lo_);
+  os << ",\"hi\":";
+  json_double(os, hi_);
+  os << ",\"buckets\":[";
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (i) os << ',';
+    os << counts_[i];
+  }
+  os << "],\"total\":" << total_ << ",\"underflow\":" << underflow_
+     << ",\"overflow\":" << overflow_ << "}";
   return os.str();
 }
 

@@ -59,6 +59,11 @@ class Sample {
   double percentile(double q) const;
   double median() const { return percentile(50.0); }
 
+  /// JSON summary object (count/mean/min/max/stddev/p50/p90/p99) — the
+  /// machine-readable companion every exporter shares (util/json.hpp
+  /// formatting, so it splices into harness/reports.cpp documents).
+  std::string summary_json() const;
+
   const std::vector<double>& values() const { return values_; }
 
  private:
@@ -70,7 +75,9 @@ class Sample {
 };
 
 /// Fixed-grid linear histogram over [lo, hi); out-of-range values clamp to
-/// the edge buckets so counts are never dropped.
+/// the edge buckets so counts are never dropped, but each clamp is also
+/// tallied in underflow()/overflow() so exported distributions can state
+/// honestly how much mass the edge buckets absorbed.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t buckets);
@@ -81,15 +88,34 @@ class Histogram {
   double bucket_lo(std::size_t i) const;
   double bucket_hi(std::size_t i) const;
   std::uint64_t total() const { return total_; }
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  /// Observations below lo (clamped into the first bucket).
+  std::uint64_t underflow() const { return underflow_; }
+  /// Observations at or above hi (clamped into the last bucket).
+  std::uint64_t overflow() const { return overflow_; }
+
+  /// True when `other` shares this histogram's grid (lo, hi, buckets) —
+  /// the precondition of merge().
+  bool same_grid(const Histogram& other) const;
+  /// Bucket-wise accumulation of an identically-gridded histogram
+  /// (parallel-runner metric merging). CHECK-fails on a grid mismatch.
+  void merge(const Histogram& other);
 
   /// Multi-line ASCII rendering (one row per bucket with a proportional bar).
   std::string to_string(std::size_t bar_width = 40) const;
+
+  /// JSON object: grid, bucket counts, total, and the under/overflow
+  /// tallies (util/json.hpp formatting, shared with harness/reports.cpp).
+  std::string to_json() const;
 
  private:
   double lo_;
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
 };
 
 }  // namespace cesrm::util

@@ -1,0 +1,428 @@
+// Tests for the observability subsystem: trace recording, recovery-timeline
+// reconstruction (and its exact reconciliation with HostStats aggregates),
+// metrics registry/merging, exporters, and the shared JSON helpers.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/experiment.hpp"
+#include "harness/runner.hpp"
+#include "infer/link_estimator.hpp"
+#include "infer/link_trace.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/timeline.hpp"
+#include "obs/trace_recorder.hpp"
+#include "trace/catalog.hpp"
+#include "trace/trace_generator.hpp"
+#include "util/check.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+
+namespace cesrm::obs {
+namespace {
+
+using sim::SimTime;
+
+// ------------------------------------------------------- timeline (unit) ---
+
+TraceEvent ev(double at_s, EventKind kind, net::NodeId node,
+              net::NodeId source = 0, net::SeqNo seq = 0,
+              net::NodeId peer = net::kInvalidNode, std::int64_t detail = 0) {
+  return TraceEvent{SimTime::from_seconds(at_s), kind, node, source,
+                    seq,                         peer, detail};
+}
+
+TEST(Timeline, ReactiveRecoveryLifecycle) {
+  const std::vector<TraceEvent> events = {
+      ev(1.0, EventKind::kLossDetected, 3, 0, 7),
+      ev(1.0, EventKind::kRequestScheduled, 3, 0, 7),
+      ev(1.2, EventKind::kRequestSent, 3, 0, 7),
+      ev(1.3, EventKind::kRequestSuppressed, 3, 0, 7),
+      ev(1.8, EventKind::kRecovered, 3, 0, 7, 5),
+      ev(2.0, EventKind::kDuplicateRepair, 3, 0, 7, 4),
+  };
+  const RecoveryTimeline tl = reconstruct_timeline(events);
+  ASSERT_EQ(tl.lifecycles.size(), 1u);
+  const LossLifecycle& lc = tl.lifecycles[0];
+  EXPECT_EQ(lc.node, 3);
+  EXPECT_EQ(lc.source, 0);
+  EXPECT_EQ(lc.seq, 7);
+  EXPECT_EQ(lc.detect_time, SimTime::from_seconds(1.0));
+  EXPECT_EQ(lc.first_request_time, SimTime::from_seconds(1.2));
+  EXPECT_EQ(lc.recover_time, SimTime::from_seconds(1.8));
+  EXPECT_EQ(lc.outcome, LossOutcome::kRecovered);
+  EXPECT_FALSE(lc.expedited);
+  EXPECT_EQ(lc.requests, 1);
+  EXPECT_EQ(lc.suppressions, 1);
+  EXPECT_EQ(lc.duplicates, 1);
+  EXPECT_DOUBLE_EQ(lc.latency_seconds(), 0.8);
+  EXPECT_EQ(tl.recovered, 1u);
+  EXPECT_EQ(tl.duplicate_repairs, 1u);
+}
+
+TEST(Timeline, ExpeditedSuccessAndFallback) {
+  const std::vector<TraceEvent> events = {
+      ev(1.0, EventKind::kLossDetected, 3, 0, 7),
+      ev(1.1, EventKind::kExpAttempt, 3, 0, 7, 5),
+      ev(1.4, EventKind::kExpSuccess, 3, 0, 7, 5),
+      ev(2.0, EventKind::kLossDetected, 4, 0, 9),
+      ev(2.1, EventKind::kExpAttempt, 4, 0, 9, 5),
+      ev(2.9, EventKind::kExpFallback, 4, 0, 9, 6),
+  };
+  const RecoveryTimeline tl = reconstruct_timeline(events);
+  ASSERT_EQ(tl.lifecycles.size(), 2u);
+  EXPECT_TRUE(tl.lifecycles[0].expedited);
+  EXPECT_TRUE(tl.lifecycles[0].expedited_attempted);
+  EXPECT_FALSE(tl.lifecycles[1].expedited);  // fell back to SRM recovery
+  EXPECT_TRUE(tl.lifecycles[1].expedited_attempted);
+  EXPECT_EQ(tl.expedited_successes, 1u);
+  EXPECT_EQ(tl.recovered, 2u);
+}
+
+TEST(Timeline, CrashAbandonsOpenLossesAndCatchUpReopens) {
+  const std::vector<TraceEvent> events = {
+      ev(1.0, EventKind::kLossDetected, 3, 0, 7),
+      ev(1.5, EventKind::kLossDetected, 4, 0, 7),
+      // Node 3 crashes: only its open lifecycle is abandoned.
+      ev(2.0, EventKind::kFaultApplied, 3, net::kInvalidNode, net::kNoSeq,
+         net::kInvalidNode, kFaultCrash),
+      // Post-recovery catch-up re-detects the same (node, source, seq).
+      ev(5.0, EventKind::kLossDetected, 3, 0, 7),
+      ev(5.5, EventKind::kRecovered, 3, 0, 7),
+      ev(6.0, EventKind::kRecovered, 4, 0, 7),
+  };
+  const RecoveryTimeline tl = reconstruct_timeline(events);
+  ASSERT_EQ(tl.lifecycles.size(), 3u);
+  EXPECT_EQ(tl.lifecycles[0].outcome, LossOutcome::kAbandoned);
+  EXPECT_EQ(tl.lifecycles[1].outcome, LossOutcome::kRecovered);
+  EXPECT_EQ(tl.lifecycles[2].outcome, LossOutcome::kRecovered);
+  EXPECT_EQ(tl.abandoned, 1u);
+  EXPECT_EQ(tl.recovered, 2u);
+  EXPECT_EQ(tl.unrecovered, 0u);
+}
+
+TEST(Timeline, SilentRepairsAndOpenLossesCounted) {
+  const std::vector<TraceEvent> events = {
+      ev(1.0, EventKind::kRepairBeforeDetection, 3, 0, 6),
+      ev(2.0, EventKind::kLossDetected, 3, 0, 7),
+  };
+  const RecoveryTimeline tl = reconstruct_timeline(events);
+  EXPECT_EQ(tl.silent_repairs, 1u);
+  EXPECT_EQ(tl.losses, 1u);
+  EXPECT_EQ(tl.unrecovered, 1u);
+  EXPECT_EQ(tl.lifecycles[0].outcome, LossOutcome::kOpen);
+}
+
+// ------------------------------------------------ recorder / hook contract --
+
+TEST(TraceRecorder, CountsAlwaysEventsOnlyWhenTracing) {
+  TraceRecorder counting(ObsConfig{.trace = false, .metrics = true});
+  counting.emit(SimTime::zero(), EventKind::kLossDetected, 1);
+  counting.emit(SimTime::zero(), EventKind::kLossDetected, 2);
+  EXPECT_EQ(counting.count(EventKind::kLossDetected), 2u);
+  EXPECT_TRUE(counting.events().empty());
+
+  TraceRecorder tracing(ObsConfig{.trace = true});
+  tracing.emit(SimTime::zero(), EventKind::kRequestSent, 1, 0, 5, 2, 3);
+  ASSERT_EQ(tracing.events().size(), 1u);
+  EXPECT_EQ(tracing.events()[0].kind, EventKind::kRequestSent);
+  EXPECT_EQ(tracing.events()[0].peer, 2);
+  EXPECT_EQ(tracing.events()[0].detail, 3);
+}
+
+// ----------------------------------------------- experiment reconciliation --
+
+harness::ExperimentResult run_observed(const trace::LossTrace& loss,
+                                       const infer::LinkTraceRepresentation& links,
+                                       Protocol protocol,
+                                       fault::FaultPlan faults = {}) {
+  harness::ExperimentConfig cfg;
+  cfg.protocol = protocol;
+  cfg.seed = 11;
+  cfg.observe.trace = true;
+  cfg.observe.metrics = true;
+  cfg.faults = std::move(faults);
+  return harness::run_experiment(loss, links, cfg);
+}
+
+std::uint64_t expedited_recoveries(const harness::ExperimentResult& r) {
+  std::uint64_t n = 0;
+  for (const auto& m : r.members)
+    for (const auto& rec : m.stats.recoveries)
+      if (rec.recovered && rec.expedited) ++n;
+  return n;
+}
+
+std::uint64_t abandoned_losses(const harness::ExperimentResult& r) {
+  std::uint64_t n = 0;
+  for (const auto& m : r.members) n += m.stats.losses_abandoned_at_crash;
+  return n;
+}
+
+void expect_reconciles(const harness::ExperimentResult& r) {
+  ASSERT_TRUE(r.events != nullptr);
+  const RecoveryTimeline tl = reconstruct_timeline(*r.events);
+  EXPECT_EQ(tl.losses, r.total_losses_detected());
+  EXPECT_EQ(tl.recovered, r.total_recovered());
+  EXPECT_EQ(tl.unrecovered, r.total_unrecovered());
+  EXPECT_EQ(tl.abandoned, abandoned_losses(r));
+  EXPECT_EQ(tl.expedited_successes, expedited_recoveries(r));
+  EXPECT_EQ(tl.silent_repairs, r.total_silent_repairs());
+}
+
+/// Shared 4-receiver workload over tree 0(1(3 4) 2(5 6)).
+struct SmallWorkload {
+  SmallWorkload() {
+    trace::TraceSpec spec;
+    spec.name = "OBS4";
+    spec.receivers = 4;
+    spec.depth = 3;
+    spec.period_ms = 40;
+    spec.packets = 4000;
+    spec.losses = 800;
+    spec.seed = 77;
+    gen = trace::generate_trace(spec);
+    const auto est = infer::estimate_links_yajnik(*gen.loss);
+    links = std::make_unique<infer::LinkTraceRepresentation>(*gen.loss,
+                                                             est.loss_rate);
+  }
+  trace::GeneratedTrace gen;
+  std::unique_ptr<infer::LinkTraceRepresentation> links;
+};
+
+const SmallWorkload& small_workload() {
+  static SmallWorkload* w = new SmallWorkload();
+  return *w;
+}
+
+TEST(Reconciliation, FourReceiverRunSrm) {
+  const auto& w = small_workload();
+  const auto r = run_observed(*w.gen.loss, *w.links, Protocol::kSrm);
+  EXPECT_GT(r.total_losses_detected(), 0u);
+  expect_reconciles(r);
+  // Every lifecycle names a real receiver and a detect <= recover ordering.
+  const RecoveryTimeline tl = reconstruct_timeline(*r.events);
+  for (const LossLifecycle& lc : tl.lifecycles) {
+    EXPECT_EQ(lc.source, w.gen.loss->tree().root());
+    EXPECT_TRUE(w.gen.loss->tree().is_leaf(lc.node));
+    if (lc.outcome == LossOutcome::kRecovered) {
+      EXPECT_LE(lc.detect_time, lc.recover_time);
+      EXPECT_GE(lc.latency_seconds(), 0.0);
+    }
+    // SRM never expedites.
+    EXPECT_FALSE(lc.expedited_attempted);
+  }
+}
+
+TEST(Reconciliation, FourReceiverRunCesrmHasExpeditedSuccesses) {
+  const auto& w = small_workload();
+  const auto r = run_observed(*w.gen.loss, *w.links, Protocol::kCesrm);
+  expect_reconciles(r);
+  const RecoveryTimeline tl = reconstruct_timeline(*r.events);
+  EXPECT_GT(tl.expedited_successes, 0u);  // caching must pay off here
+}
+
+TEST(Reconciliation, Table1RunBothProtocols) {
+  trace::TraceSpec spec = trace::table1_spec(3);
+  spec.losses = spec.losses * 1500 / spec.packets;
+  spec.packets = 1500;
+  const auto gen = trace::generate_trace(spec);
+  const auto est = infer::estimate_links_yajnik(*gen.loss);
+  const infer::LinkTraceRepresentation links(*gen.loss, est.loss_rate);
+  for (const Protocol protocol : {Protocol::kSrm, Protocol::kCesrm}) {
+    const auto r = run_observed(*gen.loss, links, protocol);
+    EXPECT_GT(r.total_losses_detected(), 0u) << protocol_name(protocol);
+    expect_reconciles(r);
+  }
+}
+
+TEST(Reconciliation, CrashRunAccountsAbandonedLosses) {
+  const auto& w = small_workload();
+  fault::FaultPlan plan;
+  fault::CrashEvent crash;
+  crash.receiver_rank = 0;
+  crash.at = SimTime::seconds(30);
+  crash.recover_at = SimTime::seconds(90);
+  plan.crashes.push_back(crash);
+  for (const Protocol protocol : {Protocol::kSrm, Protocol::kCesrm}) {
+    const auto r = run_observed(*w.gen.loss, *w.links, protocol, plan);
+    expect_reconciles(r);
+  }
+}
+
+// ------------------------------------------------------------ determinism --
+
+TEST(Determinism, ArtifactsIdenticalAcrossWorkerCounts) {
+  const auto& w = small_workload();
+  const auto run_with_jobs = [&](unsigned jobs) {
+    harness::RunnerOptions ropts;
+    ropts.jobs = jobs;
+    harness::ExperimentRunner runner(ropts);
+    std::vector<harness::ExperimentJob> exp_jobs(2);
+    for (std::size_t i = 0; i < 2; ++i) {
+      exp_jobs[i].loss = w.gen.loss;
+      exp_jobs[i].links = std::shared_ptr<const infer::LinkTraceRepresentation>(
+          w.links.get(), [](auto*) {});
+      exp_jobs[i].protocol = i == 0 ? Protocol::kSrm : Protocol::kCesrm;
+      exp_jobs[i].config.seed = 5;
+      exp_jobs[i].config.observe.trace = true;
+      exp_jobs[i].config.observe.metrics = true;
+    }
+    return runner.run(std::move(exp_jobs));
+  };
+  const auto serial = run_with_jobs(1);
+  const auto parallel = run_with_jobs(8);
+
+  // Merged metrics serialize byte-identically.
+  std::ostringstream m1, m8;
+  harness::merged_metrics(serial).to_json(m1);
+  harness::merged_metrics(parallel).to_json(m8);
+  EXPECT_EQ(m1.str(), m8.str());
+  EXPECT_FALSE(m1.str().empty());
+
+  // So do the exported traces.
+  for (std::size_t i = 0; i < 2; ++i) {
+    std::ostringstream t1, t8;
+    write_events_jsonl(t1, *serial[i].result.events);
+    write_events_jsonl(t8, *parallel[i].result.events);
+    EXPECT_EQ(t1.str(), t8.str());
+  }
+}
+
+// ---------------------------------------------------------------- metrics --
+
+TEST(Metrics, MergeSemantics) {
+  MetricsRegistry a;
+  a.add("jobs", 1);
+  a.gauge_max("high_water", 10.0);
+  a.histogram("lat", 0.0, 1.0, 4).add(0.1);
+  MetricsRegistry b;
+  b.add("jobs", 2);
+  b.gauge_max("high_water", 7.0);
+  b.histogram("lat", 0.0, 1.0, 4).add(0.9);
+  b.add("only_b", 5);
+
+  MetricsSnapshot merged = a.take();
+  merged.merge(b.snapshot());
+  EXPECT_EQ(merged.counters.at("jobs"), 3u);
+  EXPECT_EQ(merged.counters.at("only_b"), 5u);
+  EXPECT_DOUBLE_EQ(merged.gauges.at("high_water"), 10.0);
+  EXPECT_EQ(merged.histograms.at("lat").total(), 2u);
+}
+
+TEST(Metrics, HistogramGridMismatchIsFatal) {
+  MetricsSnapshot a, b;
+  a.histograms.emplace("h", util::Histogram(0.0, 1.0, 4));
+  b.histograms.emplace("h", util::Histogram(0.0, 2.0, 4));
+  EXPECT_THROW(a.merge(b), util::CheckError);
+}
+
+TEST(Metrics, ExperimentMetricsMatchAggregates) {
+  const auto& w = small_workload();
+  const auto r = run_observed(*w.gen.loss, *w.links, Protocol::kCesrm);
+  EXPECT_EQ(r.metrics.counters.at("protocol.losses_detected"),
+            r.total_losses_detected());
+  EXPECT_EQ(r.metrics.counters.at("protocol.recovered"), r.total_recovered());
+  EXPECT_EQ(r.metrics.counters.at("events.loss_detected"),
+            r.total_losses_detected());
+  EXPECT_EQ(r.metrics.counters.at("sim.events_executed"), r.events_executed);
+  EXPECT_GT(r.metrics.gauges.at("sim.queue_high_water"), 0.0);
+  EXPECT_EQ(r.metrics.histograms.at("recovery.latency_norm").total(),
+            r.total_recovered());
+}
+
+// -------------------------------------------------------------- exporters --
+
+TEST(Export, JsonlOneObjectPerEvent) {
+  const std::vector<TraceEvent> events = {
+      ev(1.0, EventKind::kLossDetected, 3, 0, 7),
+      ev(1.5, EventKind::kRecovered, 3, 0, 7),
+  };
+  std::ostringstream os;
+  write_events_jsonl(os, events);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 2);
+  EXPECT_NE(out.find("\"kind\":\"loss_detected\""), std::string::npos);
+  EXPECT_NE(out.find("\"ts_us\":1000000"), std::string::npos);
+}
+
+TEST(Export, ChromeTraceStructure) {
+  const std::vector<TraceEvent> events = {
+      ev(1.0, EventKind::kLossDetected, 3, 0, 7),
+      ev(1.2, EventKind::kRequestSent, 3, 0, 7),
+      ev(1.8, EventKind::kRecovered, 3, 0, 7),
+  };
+  const std::vector<ChromeTraceJob> jobs = {{"t1/srm", events}};
+  std::ostringstream os;
+  write_chrome_trace(os, jobs);
+  const std::string out = os.str();
+  EXPECT_EQ(out.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(out.find("\"ph\":\"M\""), std::string::npos);  // process_name
+  EXPECT_NE(out.find("\"t1/srm\""), std::string::npos);
+  EXPECT_NE(out.find("\"ph\":\"i\""), std::string::npos);  // instants
+  EXPECT_NE(out.find("\"ph\":\"X\""), std::string::npos);  // recovery span
+  EXPECT_NE(out.find("\"dur\":"), std::string::npos);
+}
+
+// ---------------------------------------------- util satellites (json/stats) --
+
+TEST(JsonHelpers, EscapeAndDouble) {
+  std::ostringstream os;
+  util::json_escape(os, "a\"b\\c\nd\te\x01"
+                        "f");
+  EXPECT_EQ(os.str(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"");
+  std::ostringstream dn;
+  util::json_double(dn, std::numeric_limits<double>::quiet_NaN());
+  EXPECT_EQ(dn.str(), "null");
+  std::ostringstream dv;
+  util::json_double(dv, 0.5);
+  EXPECT_EQ(dv.str(), "0.5");
+}
+
+TEST(Stats, SampleSummaryJson) {
+  util::Sample s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  const std::string json = s.summary_json();
+  EXPECT_EQ(json.rfind("{\"count\":100,", 0), 0u);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_EQ(util::Sample().summary_json().rfind("{\"count\":0,", 0), 0u);
+}
+
+TEST(Stats, HistogramUnderOverflowTallied) {
+  util::Histogram h(0.0, 10.0, 5);
+  h.add(-1.0);   // clamps into bucket 0, tallied as underflow
+  h.add(5.0);
+  h.add(12.0);   // clamps into the last bucket, tallied as overflow
+  h.add(10.0);   // hi is exclusive: also overflow
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.bucket(0), 1u);                    // clamped low value kept
+  EXPECT_EQ(h.bucket(h.bucket_count() - 1), 2u); // clamped high values kept
+  const std::string json = h.to_json();
+  EXPECT_NE(json.find("\"underflow\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"overflow\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"buckets\":[1,0,1,0,2]"), std::string::npos);
+}
+
+// ----------------------------------------------------------- sim profiling --
+
+TEST(Profiling, WallPerSimSecondCoversTheRun) {
+  const auto& w = small_workload();
+  harness::ExperimentConfig cfg;
+  cfg.protocol = Protocol::kSrm;
+  cfg.seed = 11;
+  cfg.observe.profile = true;
+  const auto r = harness::run_experiment(*w.gen.loss, *w.links, cfg);
+  ASSERT_FALSE(r.wall_profile.empty());
+  EXPECT_LE(static_cast<double>(r.wall_profile.size()),
+            r.sim_end.to_seconds() + 1.0);
+  for (double s : r.wall_profile) EXPECT_GE(s, 0.0);
+  // Profiling alone captures neither events nor metrics.
+  EXPECT_EQ(r.events, nullptr);
+  EXPECT_TRUE(r.metrics.empty());
+}
+
+}  // namespace
+}  // namespace cesrm::obs

@@ -24,6 +24,7 @@
 //       Replay under SRM and CESRM and print the paper's headline
 //       comparison (Figure 1 per-receiver table + Figure 5 numbers).
 
+#include <fstream>
 #include <iostream>
 
 #include <functional>
@@ -35,10 +36,12 @@
 #include "infer/link_trace.hpp"
 #include "infer/minc_estimator.hpp"
 #include "lms/lms_agent.hpp"
+#include "obs/export.hpp"
 #include "trace/catalog.hpp"
 #include "trace/serialization.hpp"
 #include "trace/trace_generator.hpp"
 #include "util/cli.hpp"
+#include "util/logging.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -166,7 +169,50 @@ harness::ExperimentConfig config_from_flags(const util::CliFlags& flags) {
   cfg.cesrm.policy = ::cesrm::cesrm::parse_policy(flags.get_string("policy"));
   cfg.cesrm.srm.adaptive_timers = flags.get_bool("adaptive");
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
+  cfg.observe.trace = !flags.get_string("trace-out").empty();
+  cfg.observe.metrics = !flags.get_string("metrics-out").empty();
   return cfg;
+}
+
+// Writes simulate/compare observability artifacts when --trace-out /
+// --metrics-out name files: the event capture as Chrome trace_event JSON
+// (or JSONL when the path ends in .jsonl) and the merged metrics as JSON.
+void maybe_write_obs(const util::CliFlags& flags,
+                     const std::vector<harness::JobOutcome>& outcomes) {
+  const std::string trace_path = flags.get_string("trace-out");
+  if (!trace_path.empty()) {
+    std::ofstream out(trace_path);
+    if (!out) {
+      std::cerr << "error: could not write " << trace_path << "\n";
+    } else if (trace_path.ends_with(".jsonl")) {
+      for (const auto& o : outcomes)
+        if (o.result.events) obs::write_events_jsonl(out, *o.result.events);
+      std::cerr << "wrote " << trace_path << "\n";
+    } else {
+      std::vector<obs::ChromeTraceJob> trace_jobs;
+      for (const auto& o : outcomes) {
+        if (!o.result.events) continue;
+        std::string name = o.result.trace_name;
+        name += '/';
+        name += protocol_name(o.protocol);
+        trace_jobs.push_back({std::move(name), *o.result.events});
+      }
+      obs::write_chrome_trace(out, trace_jobs);
+      std::cerr << "wrote " << trace_path << "\n";
+    }
+  }
+  const std::string metrics_path = flags.get_string("metrics-out");
+  if (!metrics_path.empty()) {
+    std::ofstream out(metrics_path);
+    if (!out) {
+      std::cerr << "error: could not write " << metrics_path << "\n";
+    } else {
+      const auto merged = harness::merged_metrics(outcomes);
+      merged.to_json(out);
+      out << "\n";
+      std::cerr << "wrote " << metrics_path << "\n";
+    }
+  }
 }
 
 // An ExperimentRunner honouring --jobs, with per-job progress on stderr.
@@ -288,6 +334,7 @@ int cmd_simulate(const util::CliFlags& flags) {
   const auto outcomes = runner.run({std::move(job)});
   const auto& result = outcomes.front().result;
   maybe_write_json(flags, outcomes, file.loss->name());
+  maybe_write_obs(flags, outcomes);
 
   std::cout << protocol_name(proto) << " on " << file.loss->name()
             << ":\n"
@@ -334,6 +381,7 @@ int cmd_compare(const util::CliFlags& flags) {
   const auto& srm = outcomes[0].result;
   const auto& cesrm = outcomes[1].result;
   maybe_write_json(flags, outcomes, file.loss->name());
+  maybe_write_obs(flags, outcomes);
 
   util::TextTable table("Per-receiver avg normalized recovery time (RTTs):");
   table.set_header({"receiver", "SRM", "CESRM", "CESRM/SRM"});
@@ -379,7 +427,17 @@ int main(int argc, char** argv) {
                 "worker threads for simulate/compare (0 = hardware)");
   flags.add_string("json", "",
                    "write simulate/compare results to FILE as JSON");
+  flags.add_string("trace-out", "",
+                   "write the protocol-event trace of simulate/compare here "
+                   "(Chrome trace_event JSON; JSONL when the path ends in "
+                   ".jsonl)");
+  flags.add_string("metrics-out", "",
+                   "write simulate/compare run metrics here as JSON");
+  flags.add_string("log-level", "warn",
+                   "log threshold: trace|debug|info|warn|error|off");
   if (!flags.parse(argc, argv)) return 1;
+  util::set_log_threshold(
+      util::parse_log_level(flags.get_string("log-level")));
 
   if (flags.positional().size() != 1) {
     std::cerr << "usage: cesrm_cli <generate|inspect|estimate|simulate|"
