@@ -16,6 +16,8 @@
 #include "net/topology_builder.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/simulator.hpp"
+#include "sim/timer.hpp"
+#include "trace/catalog.hpp"
 #include "trace/gilbert_elliott.hpp"
 #include "trace/trace_generator.hpp"
 
@@ -59,6 +61,47 @@ void BM_EventQueueCancelHeavy(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueCancelHeavy);
 
+void BM_EventQueueSlotReuse(benchmark::State& state) {
+  // Steady-state schedule/cancel/pop churn against a warm queue: exercises
+  // the generation-tagged slot pool's free-list reuse rather than pool
+  // growth (the shape of a long-running simulation).
+  sim::EventQueue q;
+  std::int64_t t = 0;
+  std::vector<sim::EventId> window;
+  for (int i = 0; i < 1024; ++i)
+    window.push_back(q.schedule(sim::SimTime::nanos(++t), [] {}));
+  std::size_t next = 0;
+  for (auto _ : state) {
+    q.cancel(window[next]);
+    window[next] = q.schedule(sim::SimTime::nanos(++t), [] {});
+    next = (next + 1) % window.size();
+    sim::SimTime when;
+    sim::EventQueue::Callback cb;
+    sim::EventId id;
+    q.pop(when, cb, id);
+    window[next] = q.schedule(sim::SimTime::nanos(++t), [] {});
+    next = (next + 1) % window.size();
+  }
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_EventQueueSlotReuse);
+
+void BM_TimerChurn(benchmark::State& state) {
+  // Arm/re-arm/fire cycles through sim::Timer — the SRM request/reply
+  // back-off machinery's view of the event core.
+  sim::Simulator sim;
+  int fired = 0;
+  sim::Timer timer(sim, [&fired] { ++fired; });
+  for (auto _ : state) {
+    timer.arm(sim::SimTime::micros(2));
+    timer.arm(sim::SimTime::micros(1));  // re-arm cancels the pending expiry
+    sim.run();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(2 * state.iterations());
+}
+BENCHMARK(BM_TimerChurn);
+
 void BM_MulticastFlood(benchmark::State& state) {
   util::Rng rng(7);
   net::TreeShape shape;
@@ -74,7 +117,40 @@ void BM_MulticastFlood(benchmark::State& state) {
   state.SetItemsProcessed(
       static_cast<std::int64_t>(tree.link_count()) * state.iterations());
 }
-BENCHMARK(BM_MulticastFlood)->Arg(8)->Arg(15);
+BENCHMARK(BM_MulticastFlood)->Arg(8)->Arg(15)->Arg(64);
+
+void BM_Table1SweepE2E(benchmark::State& state) {
+  // End-to-end wall time of a capped Table-1 sweep (trace generation
+  // cached across iterations by the runner's TraceCache shape: we prepare
+  // once and measure simulation + dispatch, like bench_fig1_recovery).
+  const auto spec = [&] {
+    trace::TraceSpec s = trace::table1_spec(static_cast<int>(state.range(0)));
+    const double scale = 2000.0 / static_cast<double>(s.packets);
+    s.packets = 2000;
+    s.losses = static_cast<std::int64_t>(static_cast<double>(s.losses) * scale);
+    return s;
+  }();
+  const auto gen = trace::generate_trace(spec);
+  const auto links = std::make_shared<infer::LinkTraceRepresentation>(
+      *gen.loss, infer::estimate_links_yajnik(*gen.loss).loss_rate);
+  harness::RunnerOptions ropts;
+  ropts.jobs = 1;
+  for (auto _ : state) {
+    harness::ExperimentRunner runner(ropts);
+    std::vector<harness::ExperimentJob> jobs;
+    for (const Protocol protocol : {Protocol::kSrm, Protocol::kCesrm}) {
+      harness::ExperimentJob job;
+      job.spec = spec;
+      job.loss = gen.loss;
+      job.links = links;
+      job.protocol = protocol;
+      jobs.push_back(std::move(job));
+    }
+    benchmark::DoNotOptimize(runner.run(std::move(jobs)));
+  }
+  state.SetItemsProcessed(2 * spec.packets * state.iterations());
+}
+BENCHMARK(BM_Table1SweepE2E)->Arg(1)->Arg(8);
 
 void BM_GilbertElliottStep(benchmark::State& state) {
   auto ge = trace::GilbertElliott::from_rate_and_burst(0.05, 4.0);

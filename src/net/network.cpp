@@ -54,57 +54,73 @@ sim::SimTime& Network::busy_until(NodeId from, NodeId to) {
   return busy_[static_cast<std::size_t>(from)][1];
 }
 
+sim::SimTime Network::serialization_time(int size_bytes) {
+  if (!config_.model_bandwidth || size_bytes <= 0) return sim::SimTime::zero();
+  // A sweep sees only a handful of distinct sizes (payload and control),
+  // so a tiny linear-scan memo beats recomputing the division + rounding
+  // on every hop of every packet.
+  for (const auto& [size, tx] : ser_cache_)
+    if (size == size_bytes) return tx;
+  const sim::SimTime tx = sim::SimTime::from_seconds(
+      static_cast<double>(size_bytes) * 8.0 / config_.link_bandwidth_bps);
+  ser_cache_.emplace_back(size_bytes, tx);
+  return tx;
+}
+
 sim::SimTime Network::transmit(NodeId from, NodeId to, int size_bytes) {
   sim::SimTime& busy = busy_until(from, to);
   const sim::SimTime start = std::max(sim_.now(), busy);
-  sim::SimTime tx = sim::SimTime::zero();
-  if (config_.model_bandwidth && size_bytes > 0) {
-    tx = sim::SimTime::from_seconds(static_cast<double>(size_bytes) * 8.0 /
-                                    config_.link_bandwidth_bps);
-  }
+  const sim::SimTime tx = serialization_time(size_bytes);
   busy = start + tx;
   return start + tx + config_.link_delay;
 }
 
-void Network::send_hop(NodeId from, NodeId to, Packet pkt, Mode mode) {
+bool Network::crossing_lost(const Packet& pkt, NodeId from, NodeId to) {
   const auto type_idx = static_cast<std::size_t>(pkt.type);
-  switch (mode) {
-    case Mode::kMulticast: ++stats_.multicast[type_idx]; break;
-    case Mode::kUnicast: ++stats_.unicast[type_idx]; break;
-    case Mode::kSubcast: ++stats_.subcast[type_idx]; break;
-  }
   // Administrative link state: a down link loses the crossing outright,
   // in either direction.
   const LinkId link = tree_.parent(to) == from ? to : from;
   if (!link_up_[static_cast<std::size_t>(link)]) {
     ++stats_.dropped[type_idx];
     record_drop(sim_, pkt, from, to);
-    return;
+    return true;
   }
   if (drop_fn_ && drop_fn_(pkt, from, to)) {
     ++stats_.dropped[type_idx];
     record_drop(sim_, pkt, from, to);
-    return;
+    return true;
   }
-  sim::SimTime arrival = transmit(from, to, pkt.size_bytes);
+  return false;
+}
+
+void Network::send_hop(NodeId from, NodeId to, const PacketRef& pkt,
+                       Mode mode) {
+  const auto type_idx = static_cast<std::size_t>(pkt->type);
+  switch (mode) {
+    case Mode::kMulticast: ++stats_.multicast[type_idx]; break;
+    case Mode::kUnicast: ++stats_.unicast[type_idx]; break;
+    case Mode::kSubcast: ++stats_.subcast[type_idx]; break;
+  }
+  if (crossing_lost(*pkt, from, to)) return;
+  sim::SimTime arrival = transmit(from, to, pkt->size_bytes);
   if (perturb_fn_) {
-    const Perturbation p = perturb_fn_(pkt, from, to);
+    const Perturbation p = perturb_fn_(*pkt, from, to);
     CESRM_CHECK(p.extra_delay >= sim::SimTime::zero());
     arrival += p.extra_delay;
     if (p.duplicate) {
       ++stats_.duplicated[type_idx];
-      const sim::SimTime dup_arrival = transmit(from, to, pkt.size_bytes);
+      const sim::SimTime dup_arrival = transmit(from, to, pkt->size_bytes);
       sim_.schedule_at(dup_arrival, [this, from, to, pkt, mode] {
         arrive(to, from, pkt, mode);
       });
     }
   }
-  sim_.schedule_at(arrival, [this, from, to, pkt = std::move(pkt), mode] {
+  sim_.schedule_at(arrival, [this, from, to, pkt, mode] {
     arrive(to, from, pkt, mode);
   });
 }
 
-void Network::arrive(NodeId at, NodeId came_from, const Packet& pkt,
+void Network::arrive(NodeId at, NodeId came_from, const PacketRef& pkt,
                      Mode mode) {
   switch (mode) {
     case Mode::kMulticast: {
@@ -113,13 +129,13 @@ void Network::arrive(NodeId at, NodeId came_from, const Packet& pkt,
         // router for this recipient — the node at which the packet turned
         // from travelling "up" (toward the source) to "down". For a tree
         // path that is lca(sender, recipient).
-        if (pkt.type == PacketType::kReply ||
-            pkt.type == PacketType::kExpReply) {
-          Packet annotated = pkt;
-          annotated.ann.turning_point = tree_.lca(pkt.sender, at);
+        if (pkt->type == PacketType::kReply ||
+            pkt->type == PacketType::kExpReply) {
+          Packet annotated = *pkt;
+          annotated.ann.turning_point = tree_.lca(pkt->sender, at);
           agent->on_packet(annotated);
         } else {
-          agent->on_packet(pkt);
+          agent->on_packet(*pkt);
         }
       }
       for (NodeId next : tree_.neighbors(at))
@@ -127,28 +143,20 @@ void Network::arrive(NodeId at, NodeId came_from, const Packet& pkt,
       break;
     }
     case Mode::kUnicast: {
-      if (at == pkt.dest) {
+      if (at == pkt->dest) {
         if (Agent* agent = agents_[static_cast<std::size_t>(at)])
-          agent->on_packet(pkt);
+          agent->on_packet(*pkt);
         return;
       }
-      // Next hop toward dest: down into the child subtree containing dest,
-      // otherwise up.
-      NodeId next = tree_.parent(at);
-      for (NodeId c : tree_.children(at)) {
-        if (tree_.is_ancestor(c, pkt.dest)) {
-          next = c;
-          break;
-        }
-      }
+      const NodeId next = tree_.next_hop_toward(at, pkt->dest);
       CESRM_CHECK_MSG(next != kInvalidNode, "no route from " << at << " to "
-                                                             << pkt.dest);
+                                                             << pkt->dest);
       send_hop(at, next, pkt, Mode::kUnicast);
       break;
     }
     case Mode::kSubcast: {
       if (Agent* agent = agents_[static_cast<std::size_t>(at)])
-        agent->on_packet(pkt);
+        agent->on_packet(*pkt);
       for (NodeId c : tree_.children(at)) send_hop(at, c, pkt, Mode::kSubcast);
       break;
     }
@@ -157,93 +165,65 @@ void Network::arrive(NodeId at, NodeId came_from, const Packet& pkt,
 
 void Network::multicast(NodeId from, const Packet& pkt) {
   CESRM_CHECK(from >= 0 && static_cast<std::size_t>(from) < agents_.size());
+  // One materialization; every hop closure shares the handle.
+  const auto ref = std::make_shared<const Packet>(pkt);
   for (NodeId next : tree_.neighbors(from))
-    send_hop(from, next, pkt, Mode::kMulticast);
+    send_hop(from, next, ref, Mode::kMulticast);
 }
 
 void Network::unicast(NodeId from, const Packet& pkt) {
   CESRM_CHECK(pkt.dest != kInvalidNode);
+  const auto ref = std::make_shared<const Packet>(pkt);
   if (from == pkt.dest) {
     // Degenerate self-send: deliver after zero hops at the next tick.
-    sim_.schedule_in(sim::SimTime::zero(), [this, from, pkt] {
+    sim_.schedule_in(sim::SimTime::zero(), [this, from, ref] {
       if (Agent* agent = agents_[static_cast<std::size_t>(from)])
-        agent->on_packet(pkt);
+        agent->on_packet(*ref);
     });
     return;
   }
-  // First hop toward dest.
-  NodeId next = tree_.parent(from);
-  for (NodeId c : tree_.children(from)) {
-    if (tree_.is_ancestor(c, pkt.dest)) {
-      next = c;
-      break;
-    }
-  }
-  CESRM_CHECK(next != kInvalidNode);
-  send_hop(from, next, pkt, Mode::kUnicast);
+  send_hop(from, tree_.next_hop_toward(from, pkt.dest), ref, Mode::kUnicast);
 }
 
 void Network::unicast_subcast(NodeId from, NodeId router, const Packet& pkt) {
   CESRM_CHECK(router >= 0 &&
               static_cast<std::size_t>(router) < agents_.size());
+  const auto ref = std::make_shared<const Packet>(pkt);
   if (from == router) {
     // Already at the turning point: subcast immediately.
-    sim_.schedule_in(sim::SimTime::zero(), [this, router, pkt] {
+    sim_.schedule_in(sim::SimTime::zero(), [this, router, ref] {
       for (NodeId c : tree_.children(router))
-        send_hop(router, c, pkt, Mode::kSubcast);
+        send_hop(router, c, ref, Mode::kSubcast);
     });
     return;
   }
-  // Unicast leg to the router, then fan out downstream. The unicast leg
-  // reuses Mode::kUnicast with dest=router; the switch to subcast happens
-  // in a continuation carried by a wrapper packet whose dest is the router.
+  // Unicast leg to the router, then fan out downstream. When the leg
+  // reaches `router`, arrive() would try to deliver to an agent (routers
+  // have none) and stop — so instead we simulate the leg hop-by-hop here,
+  // with the same per-hop accounting (stats, link state, loss decision,
+  // queueing) as send_hop, and schedule the subcast at the leg's modelled
+  // arrival time.
   Packet leg = pkt;
   leg.dest = router;
-  // Walk hop by hop; when the leg reaches `router`, arrive() would try to
-  // deliver to an agent (routers have none) and stop — so instead we
-  // schedule the subcast from here using the *modelled* path delay of the
-  // unicast leg. To keep queueing exact we send the leg for accounting and
-  // trigger the subcast upon its arrival via a sentinel agent-free arrival:
-  // simplest correct approach: simulate the leg hop-by-hop ourselves.
   NodeId cur = from;
   sim::SimTime when = sim_.now();
   while (cur != router) {
-    NodeId next = tree_.parent(cur);
-    for (NodeId c : tree_.children(cur)) {
-      if (tree_.is_ancestor(c, router)) {
-        next = c;
-        break;
-      }
-    }
+    const NodeId next = tree_.next_hop_toward(cur, router);
     CESRM_CHECK(next != kInvalidNode);
-    const auto type_idx = static_cast<std::size_t>(leg.type);
-    ++stats_.unicast[type_idx];
-    const LinkId leg_link = tree_.parent(next) == cur ? next : cur;
-    if (!link_up_[static_cast<std::size_t>(leg_link)]) {
-      ++stats_.dropped[type_idx];
-      record_drop(sim_, leg, cur, next);
-      return;  // leg lost on a downed link: no subcast happens
-    }
-    if (drop_fn_ && drop_fn_(leg, cur, next)) {
-      ++stats_.dropped[type_idx];
-      record_drop(sim_, leg, cur, next);
-      return;  // leg lost: no subcast happens
-    }
+    ++stats_.unicast[static_cast<std::size_t>(leg.type)];
+    if (crossing_lost(leg, cur, next)) return;  // leg lost: no subcast
     // Approximate queueing on the leg by advancing the busy horizon as of
     // `when` (the hop's local send time).
     sim::SimTime& busy = busy_until(cur, next);
     const sim::SimTime start = std::max(when, busy);
-    sim::SimTime tx = sim::SimTime::zero();
-    if (config_.model_bandwidth && leg.size_bytes > 0)
-      tx = sim::SimTime::from_seconds(static_cast<double>(leg.size_bytes) *
-                                      8.0 / config_.link_bandwidth_bps);
+    const sim::SimTime tx = serialization_time(leg.size_bytes);
     busy = start + tx;
     when = start + tx + config_.link_delay;
     cur = next;
   }
-  sim_.schedule_at(when, [this, router, pkt] {
+  sim_.schedule_at(when, [this, router, ref] {
     for (NodeId c : tree_.children(router))
-      send_hop(router, c, pkt, Mode::kSubcast);
+      send_hop(router, c, ref, Mode::kSubcast);
   });
 }
 

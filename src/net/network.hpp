@@ -139,14 +139,29 @@ class Network {
  private:
   enum class Mode { kMulticast, kUnicast, kSubcast };
 
+  /// Internal ref-counted packet handle: an N-node flood materializes the
+  /// Packet once and every hop closure shares it, instead of copying the
+  /// packet into a fresh closure per tree edge.
+  using PacketRef = std::shared_ptr<const Packet>;
+
   /// Schedules the hop `from` → `to`; on arrival delivers to the agent at
   /// `to` (if any) and, in flood/subcast modes, keeps forwarding.
-  void send_hop(NodeId from, NodeId to, Packet pkt, Mode mode);
-  void arrive(NodeId at, NodeId came_from, const Packet& pkt, Mode mode);
+  void send_hop(NodeId from, NodeId to, const PacketRef& pkt, Mode mode);
+  void arrive(NodeId at, NodeId came_from, const PacketRef& pkt, Mode mode);
+
+  /// Shared per-crossing loss accounting (link state + DropFn): returns
+  /// true (and tallies the drop) when the crossing `from` → `to` loses the
+  /// packet. Used by send_hop and the unicast_subcast leg walk.
+  bool crossing_lost(const Packet& pkt, NodeId from, NodeId to);
 
   /// Queueing link model: returns the arrival time of a packet handed to
   /// the edge `from`→`to` now, advancing the edge's busy horizon.
   sim::SimTime transmit(NodeId from, NodeId to, int size_bytes);
+
+  /// Serialization delay of a `size_bytes` packet on a configured link;
+  /// memoized per distinct size (the sweep uses only a couple of sizes,
+  /// and the division-plus-round is hot on every hop of every packet).
+  sim::SimTime serialization_time(int size_bytes);
 
   /// Per-direction busy horizon: index [child][0]=down (parent→child),
   /// [child][1]=up.
@@ -158,6 +173,7 @@ class Network {
   std::vector<Agent*> agents_;
   std::vector<std::array<sim::SimTime, 2>> busy_;
   std::vector<bool> link_up_;  ///< indexed by child endpoint
+  std::vector<std::pair<int, sim::SimTime>> ser_cache_;
   DropFn drop_fn_;
   PerturbFn perturb_fn_;
   CrossingStats stats_;

@@ -74,6 +74,53 @@ MulticastTree::MulticastTree(std::vector<NodeId> parents)
     std::sort(subtree_receivers_[v].begin(), subtree_receivers_[v].end());
   };
   gather(root_);
+
+  build_ancestry_tables();
+}
+
+void MulticastTree::build_ancestry_tables() {
+  const auto n = parent_.size();
+
+  // Euler-tour entry/exit numbering by iterative DFS (child order =
+  // node-id order, matching children_).
+  tin_.assign(n, 0);
+  tout_.assign(n, 0);
+  int clock = 0;
+  std::vector<std::pair<NodeId, std::size_t>> stack;  // (node, next child)
+  stack.emplace_back(root_, 0);
+  tin_[static_cast<std::size_t>(root_)] = clock++;
+  while (!stack.empty()) {
+    auto& [v, next_child] = stack.back();
+    const auto& kids = children_[static_cast<std::size_t>(v)];
+    if (next_child < kids.size()) {
+      const NodeId c = kids[next_child++];
+      tin_[static_cast<std::size_t>(c)] = clock++;
+      stack.emplace_back(c, 0);
+    } else {
+      tout_[static_cast<std::size_t>(v)] = clock++;
+      stack.pop_back();
+    }
+  }
+
+  // Binary-lifting ancestor table, enough levels for the deepest node.
+  int max_node_depth = 0;
+  for (std::size_t v = 0; v < n; ++v)
+    max_node_depth = std::max(max_node_depth, depth_[v]);
+  int levels = 1;
+  while ((1 << levels) <= max_node_depth) ++levels;
+  up_.assign(static_cast<std::size_t>(levels),
+             std::vector<NodeId>(n, kInvalidNode));
+  up_[0] = parent_;
+  for (int k = 1; k < levels; ++k) {
+    for (std::size_t v = 0; v < n; ++v) {
+      const NodeId half = up_[static_cast<std::size_t>(k - 1)][v];
+      if (half != kInvalidNode) {
+        up_[static_cast<std::size_t>(k)][v] =
+            up_[static_cast<std::size_t>(k - 1)][static_cast<std::size_t>(
+                half)];
+      }
+    }
+  }
 }
 
 void MulticastTree::validate() const {
@@ -111,25 +158,32 @@ const std::vector<NodeId>& MulticastTree::subtree_receivers(NodeId v) const {
   return subtree_receivers_[static_cast<std::size_t>(v)];
 }
 
-bool MulticastTree::is_ancestor(NodeId ancestor, NodeId v) const {
-  NodeId cur = v;
-  while (cur != kInvalidNode) {
-    if (cur == ancestor) return true;
-    cur = parent_[static_cast<std::size_t>(cur)];
+NodeId MulticastTree::ancestor_at_depth(NodeId v, int d) const {
+  CESRM_DCHECK(d >= 0 && d <= depth(v));
+  int rise = depth(v) - d;
+  for (int k = 0; rise != 0; ++k, rise >>= 1) {
+    if (rise & 1) v = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(v)];
   }
-  return false;
+  return v;
+}
+
+NodeId MulticastTree::next_hop_toward(NodeId at, NodeId dest) const {
+  CESRM_DCHECK(at != dest);
+  // Down into the child subtree containing dest, otherwise up.
+  if (!is_ancestor(at, dest)) return parent(at);
+  return ancestor_at_depth(dest, depth(at) + 1);
 }
 
 NodeId MulticastTree::lca(NodeId a, NodeId b) const {
-  // Trees here are tiny (≤ ~40 nodes); walk up by depth.
-  while (a != b) {
-    if (depth(a) >= depth(b))
-      a = parent(a);
-    else
-      b = parent(b);
-    CESRM_CHECK(a != kInvalidNode && b != kInvalidNode);
+  if (is_ancestor(a, b)) return a;
+  if (is_ancestor(b, a)) return b;
+  // Lift `a` to the highest ancestor that is still not an ancestor of `b`;
+  // its parent is the meeting point.
+  for (int k = static_cast<int>(up_.size()) - 1; k >= 0; --k) {
+    const NodeId next = up_[static_cast<std::size_t>(k)][static_cast<std::size_t>(a)];
+    if (next != kInvalidNode && !is_ancestor(next, b)) a = next;
   }
-  return a;
+  return parent(a);
 }
 
 std::vector<NodeId> MulticastTree::path(NodeId a, NodeId b) const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/ids.hpp"
+#include "util/check.hpp"
 
 namespace cesrm::net {
 
@@ -45,16 +46,32 @@ class MulticastTree {
   /// Receivers in the subtree rooted at `v` (inclusive if v is a leaf).
   const std::vector<NodeId>& subtree_receivers(NodeId v) const;
 
-  /// True if `ancestor` lies on the path root → v (inclusive).
-  bool is_ancestor(NodeId ancestor, NodeId v) const;
+  /// True if `ancestor` lies on the path root → v (inclusive). Two
+  /// comparisons against the precomputed Euler-tour intervals.
+  bool is_ancestor(NodeId ancestor, NodeId v) const {
+    CESRM_DCHECK(ancestor >= 0 &&
+                 static_cast<std::size_t>(ancestor) < tin_.size());
+    CESRM_DCHECK(v >= 0 && static_cast<std::size_t>(v) < tin_.size());
+    return tin_[static_cast<std::size_t>(ancestor)] <=
+               tin_[static_cast<std::size_t>(v)] &&
+           tout_[static_cast<std::size_t>(v)] <=
+               tout_[static_cast<std::size_t>(ancestor)];
+  }
 
-  /// Lowest common ancestor.
+  /// Lowest common ancestor — O(log N) via the binary-lifting table.
   NodeId lca(NodeId a, NodeId b) const;
+
+  /// The ancestor of `v` at depth `d` (requires 0 <= d <= depth(v)).
+  NodeId ancestor_at_depth(NodeId v, int d) const;
+
+  /// The neighbour of `at` on the tree path toward `dest` (requires
+  /// at != dest): the child whose subtree contains `dest`, else parent.
+  NodeId next_hop_toward(NodeId at, NodeId dest) const;
 
   /// Node sequence a → b along tree edges (inclusive of both endpoints).
   std::vector<NodeId> path(NodeId a, NodeId b) const;
 
-  /// Number of edges on the path a → b.
+  /// Number of edges on the path a → b — O(log N).
   int hop_distance(NodeId a, NodeId b) const;
 
   /// Tree neighbours (parent + children) of v.
@@ -65,11 +82,19 @@ class MulticastTree {
 
  private:
   void validate() const;
+  void build_ancestry_tables();
 
   std::vector<NodeId> parent_;
   std::vector<std::vector<NodeId>> children_;
   std::vector<std::vector<NodeId>> neighbors_;
   std::vector<int> depth_;
+  /// Euler-tour entry/exit order: u is an ancestor of v (inclusive) iff
+  /// tin_[u] <= tin_[v] and tout_[v] <= tout_[u].
+  std::vector<int> tin_;
+  std::vector<int> tout_;
+  /// Binary lifting: up_[k][v] is v's 2^k-th ancestor (kInvalidNode when
+  /// the walk leaves the tree). up_.size() covers the deepest node.
+  std::vector<std::vector<NodeId>> up_;
   std::vector<NodeId> leaves_;
   std::vector<LinkId> links_;
   std::vector<std::vector<NodeId>> subtree_receivers_;

@@ -1,51 +1,14 @@
 #include "sim/event_queue.hpp"
 
-#include <algorithm>
-
-#include "util/check.hpp"
-
 namespace cesrm::sim {
 
-EventId EventQueue::schedule(SimTime when, Callback cb) {
-  CESRM_CHECK_MSG(cb != nullptr, "null event callback");
-  const EventId id = next_id_++;
-  heap_.push_back(Entry{when, id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
-  pending_.insert(id);
-  if (pending_.size() > high_water_) high_water_ = pending_.size();
-  return id;
-}
-
-bool EventQueue::cancel(EventId id) {
-  if (pending_.erase(id) == 0) return false;
-  ++cancelled_;
-  return true;
-}
-
-void EventQueue::drop_stale_top() {
-  while (!heap_.empty() && pending_.count(heap_.front().id) == 0) {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    heap_.pop_back();
-  }
-}
+// The schedule/cancel/pop hot path lives inline in the header; only the
+// cold query stays out-of-line.
 
 SimTime EventQueue::next_time() {
   drop_stale_top();
   if (heap_.empty()) return SimTime::infinity();
   return heap_.front().when;
-}
-
-bool EventQueue::pop(SimTime& when, Callback& cb, EventId& id) {
-  drop_stale_top();
-  if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Entry e = std::move(heap_.back());
-  heap_.pop_back();
-  when = e.when;
-  cb = std::move(e.cb);
-  id = e.id;
-  pending_.erase(id);
-  return true;
 }
 
 }  // namespace cesrm::sim

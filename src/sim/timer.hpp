@@ -8,16 +8,18 @@
 // pending expiry so agents can be torn down mid-simulation.
 #pragma once
 
-#include <functional>
 #include <utility>
 
+#include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
 
 namespace cesrm::sim {
 
 class Timer {
  public:
-  using Callback = std::function<void()>;
+  /// Same small-buffer-optimized callable as the event queue itself, so a
+  /// timer's captures never force a heap allocation on the arm/fire path.
+  using Callback = InlineFunction;
 
   /// `sim` must outlive the timer. The callback is fixed at construction;
   /// what varies per arm() is only the expiry time.

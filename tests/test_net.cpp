@@ -157,6 +157,64 @@ TEST(TopologyBuilder, RandomTreeDeterministicInSeed) {
             build_random_tree(shape, b).to_string());
 }
 
+// Naive reference implementations for the randomized property test: the
+// precomputed Euler-tour / binary-lifting answers must coincide with a
+// plain parent-pointer walk on every tree.
+bool naive_is_ancestor(const MulticastTree& t, NodeId ancestor, NodeId v) {
+  for (NodeId cur = v; cur != kInvalidNode; cur = t.parent(cur))
+    if (cur == ancestor) return true;
+  return false;
+}
+
+NodeId naive_lca(const MulticastTree& t, NodeId a, NodeId b) {
+  std::set<NodeId> seen;
+  for (NodeId cur = a; cur != kInvalidNode; cur = t.parent(cur))
+    seen.insert(cur);
+  for (NodeId cur = b; cur != kInvalidNode; cur = t.parent(cur))
+    if (seen.count(cur) != 0) return cur;
+  return kInvalidNode;
+}
+
+int naive_hop_distance(const MulticastTree& t, NodeId a, NodeId b) {
+  const NodeId l = naive_lca(t, a, b);
+  return (t.depth(a) - t.depth(l)) + (t.depth(b) - t.depth(l));
+}
+
+NodeId naive_next_hop(const MulticastTree& t, NodeId at, NodeId dest) {
+  // First step of the unique tree path: walk dest up to just below `at` if
+  // it is in at's subtree, otherwise move toward the root.
+  if (!naive_is_ancestor(t, at, dest)) return t.parent(at);
+  NodeId cur = dest;
+  while (t.parent(cur) != at) cur = t.parent(cur);
+  return cur;
+}
+
+TEST(Topology, AncestryQueriesMatchNaiveWalkOnRandomTrees) {
+  util::Rng rng(20260806);
+  for (int round = 0; round < 12; ++round) {
+    TreeShape shape;
+    shape.receivers = 4 + static_cast<int>(rng.uniform_int(0, 40));
+    shape.depth = 2 + static_cast<int>(rng.uniform_int(0, 6));
+    const auto t = build_random_tree(shape, rng);
+    const auto n = static_cast<NodeId>(t.size());
+    for (int probe = 0; probe < 200; ++probe) {
+      const auto a = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      const auto b = static_cast<NodeId>(rng.uniform_int(0, n - 1));
+      ASSERT_EQ(t.is_ancestor(a, b), naive_is_ancestor(t, a, b))
+          << "a=" << a << " b=" << b << " tree=" << t.to_string();
+      ASSERT_EQ(t.lca(a, b), naive_lca(t, a, b))
+          << "a=" << a << " b=" << b << " tree=" << t.to_string();
+      ASSERT_EQ(t.hop_distance(a, b), naive_hop_distance(t, a, b))
+          << "a=" << a << " b=" << b << " tree=" << t.to_string();
+      if (a != b) {
+        ASSERT_EQ(t.next_hop_toward(a, b), naive_next_hop(t, a, b))
+            << "a=" << a << " b=" << b << " tree=" << t.to_string();
+      }
+      ASSERT_EQ(t.ancestor_at_depth(b, t.depth(t.lca(a, b))), t.lca(a, b));
+    }
+  }
+}
+
 TEST(TopologyBuilder, LeavesGetHighestIds) {
   util::Rng rng(11);
   TreeShape shape;

@@ -2,9 +2,14 @@
 // timers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <memory>
+#include <random>
 #include <vector>
 
 #include "sim/event_queue.hpp"
+#include "sim/inline_function.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
 #include "sim/timer.hpp"
@@ -145,6 +150,190 @@ TEST(EventQueue, StressInterleavedScheduleCancel) {
     cb();
   }
   EXPECT_EQ(executed, 500);
+}
+
+TEST(EventQueue, StaleIdAfterSlotReuseDoesNotCancelNewEvent) {
+  // Cancelling frees the slot for reuse; the generation tag must keep the
+  // old id from reaching through to whatever event now occupies the slot.
+  EventQueue q;
+  const EventId a = q.schedule(SimTime::millis(1), [] {});
+  ASSERT_TRUE(q.cancel(a));
+  const EventId b = q.schedule(SimTime::millis(2), [] {});  // reuses a's slot
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(q.cancel(a));  // stale id must be a no-op...
+  EXPECT_FALSE(q.is_pending(a));
+  EXPECT_TRUE(q.is_pending(b));  // ...and must not have hit b
+  EXPECT_TRUE(q.cancel(b));
+}
+
+TEST(EventQueue, StaleIdAfterFireAndReuseDoesNotCancelNewEvent) {
+  // Same hazard via the fire path: pop frees the slot too.
+  EventQueue q;
+  const EventId a = q.schedule(SimTime::millis(1), [] {});
+  SimTime when;
+  EventQueue::Callback cb;
+  EventId popped;
+  ASSERT_TRUE(q.pop(when, cb, popped));
+  ASSERT_EQ(popped, a);
+  const EventId b = q.schedule(SimTime::millis(2), [] {});
+  EXPECT_FALSE(q.cancel(a));
+  EXPECT_TRUE(q.is_pending(b));
+}
+
+TEST(EventQueue, GenerationSurvivesManySlotReuses) {
+  // A single slot recycled thousands of times: every retired id must stay
+  // dead, and the current one live.
+  EventQueue q;
+  std::vector<EventId> retired;
+  EventId current = q.schedule(SimTime::millis(1), [] {});
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_TRUE(q.cancel(current));
+    retired.push_back(current);
+    current = q.schedule(SimTime::millis(1), [] {});
+  }
+  EXPECT_TRUE(q.is_pending(current));
+  for (const EventId id : retired) {
+    EXPECT_FALSE(q.is_pending(id));
+    EXPECT_FALSE(q.cancel(id));
+  }
+  EXPECT_TRUE(q.is_pending(current));
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, FifoAmongEqualTimesSurvivesCancelChurn) {
+  // Deterministic pop order among equal-time events must not depend on
+  // slot reuse: schedule at one tick, cancel some, schedule more at the
+  // same tick (reusing freed slots), and expect schedule order among the
+  // survivors.
+  EventQueue q;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i)
+    ids.push_back(q.schedule(SimTime::millis(4), [&order, i] { order.push_back(i); }));
+  for (int i = 0; i < 8; i += 2) q.cancel(ids[static_cast<std::size_t>(i)]);
+  for (int i = 8; i < 12; ++i)
+    q.schedule(SimTime::millis(4), [&order, i] { order.push_back(i); });
+  SimTime when;
+  EventQueue::Callback cb;
+  EventId id;
+  while (q.pop(when, cb, id)) cb();
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 5, 7, 8, 9, 10, 11}));
+}
+
+TEST(EventQueue, PopOrderMatchesStableSortProperty) {
+  // Randomized property: pop order is exactly (time, schedule order) —
+  // i.e. a stable sort of the schedule sequence by time.
+  std::mt19937 rng(20260806);
+  std::uniform_int_distribution<int> coarse_time(0, 30);  // force many ties
+  for (int round = 0; round < 20; ++round) {
+    EventQueue q;
+    std::vector<std::pair<int, int>> expected;  // (time, schedule index)
+    std::vector<std::pair<int, int>> popped;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i) {
+      const int t = coarse_time(rng);
+      ids.push_back(q.schedule(SimTime::millis(t),
+                               [&popped, t, i] { popped.push_back({t, i}); }));
+      expected.push_back({t, i});
+    }
+    // Cancel a random third; they must vanish from the expected order.
+    std::vector<char> cancelled(ids.size(), 0);
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      if (rng() % 3 == 0) {
+        ASSERT_TRUE(q.cancel(ids[i]));
+        cancelled[i] = 1;
+      }
+    }
+    std::vector<std::pair<int, int>> survivors;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      if (!cancelled[i]) survivors.push_back(expected[i]);
+    std::stable_sort(survivors.begin(), survivors.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+    SimTime when;
+    EventQueue::Callback cb;
+    EventId id;
+    while (q.pop(when, cb, id)) cb();
+    EXPECT_EQ(popped, survivors) << "round " << round;
+  }
+}
+
+// ------------------------------------------------------- InlineFunction ----
+
+TEST(InlineFunction, NullByDefaultAndAfterReset) {
+  InlineFunction f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  EXPECT_TRUE(f == nullptr);
+  f = [] {};
+  EXPECT_TRUE(f != nullptr);
+  f.reset();
+  EXPECT_TRUE(f == nullptr);
+  InlineFunction g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunction, InvokesInlineCapture) {
+  int hits = 0;
+  InlineFunction f = [&hits] { ++hits; };
+  f();
+  f();  // repeatedly callable (Timer re-invokes its stored callback)
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, HeapFallbackForOversizedCapture) {
+  // A capture larger than the inline buffer must still work (heap path).
+  std::array<std::int64_t, 32> big{};  // 256 bytes > kInlineCapacity
+  big[0] = 7;
+  big[31] = 35;
+  std::int64_t sum = 0;
+  InlineFunction f = [big, &sum] { sum = big[0] + big[31]; };
+  static_assert(sizeof(big) > InlineFunction::kInlineCapacity);
+  f();
+  EXPECT_EQ(sum, 42);
+}
+
+TEST(InlineFunction, MoveTransfersCallableAndNullsSource) {
+  int hits = 0;
+  InlineFunction a = [&hits] { ++hits; };
+  InlineFunction b = std::move(a);
+  EXPECT_TRUE(a == nullptr);  // NOLINT(bugprone-use-after-move)
+  ASSERT_TRUE(b != nullptr);
+  b();
+  EXPECT_EQ(hits, 1);
+  InlineFunction c;
+  c = std::move(b);
+  c();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunction, DestroysCapturesExactlyOnce) {
+  // Captured owners must be released on reset/destruction and not leak or
+  // double-free across moves — on both the inline and the heap path.
+  const auto small_owner = std::make_shared<int>(1);
+  const auto big_owner = std::make_shared<int>(2);
+  {
+    InlineFunction inline_fn = [p = small_owner] { (void)p; };
+    std::array<char, 128> pad{};
+    InlineFunction heap_fn = [p = big_owner, pad] { (void)p; (void)pad; };
+    EXPECT_EQ(small_owner.use_count(), 2);
+    EXPECT_EQ(big_owner.use_count(), 2);
+    InlineFunction moved_inline = std::move(inline_fn);
+    InlineFunction moved_heap = std::move(heap_fn);
+    EXPECT_EQ(small_owner.use_count(), 2);  // move, not copy
+    EXPECT_EQ(big_owner.use_count(), 2);
+  }
+  EXPECT_EQ(small_owner.use_count(), 1);
+  EXPECT_EQ(big_owner.use_count(), 1);
+}
+
+TEST(InlineFunction, QueueReleasesCapturesOnCancel) {
+  // The queue promises eager release of a cancelled event's captures
+  // (free_slot resets the callback immediately, not at heap-drain time).
+  EventQueue q;
+  const auto owner = std::make_shared<int>(0);
+  const EventId id = q.schedule(SimTime::millis(1), [p = owner] { (void)p; });
+  EXPECT_EQ(owner.use_count(), 2);
+  ASSERT_TRUE(q.cancel(id));
+  EXPECT_EQ(owner.use_count(), 1);
 }
 
 // ------------------------------------------------------------ simulator ----
