@@ -22,6 +22,9 @@ void add_common_flags(util::CliFlags& flags,
                 "parallel experiment workers (0 = hardware concurrency)");
   flags.add_string("json", "",
                    "also write machine-readable results to this file");
+  flags.add_bool("wire-bytes", false,
+                 "also report overhead in encoded wire bytes (v1 codec "
+                 "frame sizes; bench_fig5_overhead)");
   flags.add_string("trace-out", "",
                    "write the protocol-event trace here (Chrome trace_event "
                    "JSON; JSONL when the path ends in .jsonl)");
@@ -56,6 +59,7 @@ bool read_common_flags(const util::CliFlags& flags, BenchOptions* out) {
   }
   out->jobs = static_cast<unsigned>(jobs);
   out->json_path = flags.get_string("json");
+  out->wire_bytes = flags.get_bool("wire-bytes");
   out->base.seed = out->seed;
   out->base.network.link_delay = sim::SimTime::millis(out->link_delay_ms);
   out->base.lossy_recovery = flags.get_bool("lossy-recovery");

@@ -64,6 +64,10 @@ struct BenchOptions {
   std::uint64_t seed = 1;
   unsigned jobs = 0;               // worker threads; 0 = hardware
   std::string json_path;           // --json=FILE ("" = no JSON output)
+  /// --wire-bytes: benches that understand it (bench_fig5_overhead) also
+  /// report overhead in encoded wire bytes (the v1 codec frame sizes).
+  /// Off by default — default stdout stays byte-identical.
+  bool wire_bytes = false;
   harness::ExperimentConfig base;  // assembled from the flags
   /// Non-null when --trace-out/--metrics-out asked for artifacts; shared
   /// so run_jobs can accumulate through the const BenchOptions& it takes.

@@ -34,6 +34,14 @@ int main(int argc, char** argv) {
                        "Ucast Control", "Total Control"});
   overhead.set_align(1, util::Align::kLeft);
 
+  util::TextTable wire(
+      "CESRM Transmission Overhead wrt that of SRM (% of encoded wire "
+      "bytes)");
+  wire.set_header({"Trace", "Name", "Retrans", "Mcast Control",
+                   "Ucast Control", "Total Control", "SRM Ctrl KB",
+                   "CESRM Ctrl KB"});
+  wire.set_align(1, util::Align::kLeft);
+
   harness::JsonResultSink sink;
   const auto runs = bench::run_traces(opts, &sink);
   for (std::size_t i = 0; i < runs.size(); ++i) {
@@ -52,6 +60,20 @@ int main(int argc, char** argv) {
                       util::fmt_fixed(f5.control_multicast_pct_of_srm, 1),
                       util::fmt_fixed(f5.control_unicast_pct_of_srm, 1),
                       util::fmt_fixed(f5.total_control_pct_of_srm(), 1)});
+    if (opts.wire_bytes) {
+      const auto w = harness::figure5_wire(run.srm, run.cesrm);
+      const auto kb = [](std::uint64_t bytes) {
+        return util::fmt_fixed(static_cast<double>(bytes) / 1024.0, 1);
+      };
+      wire.add_row(
+          {std::to_string(id), spec.name,
+           util::fmt_fixed(w.retransmission_pct_of_srm, 1),
+           util::fmt_fixed(w.control_multicast_pct_of_srm, 1),
+           util::fmt_fixed(w.control_unicast_pct_of_srm, 1),
+           util::fmt_fixed(w.total_control_pct_of_srm(), 1),
+           kb(w.srm_control_bytes),
+           kb(w.cesrm_mcast_control_bytes + w.cesrm_ucast_control_bytes)});
+    }
   }
 
   success.print();
@@ -61,6 +83,15 @@ int main(int argc, char** argv) {
                "on 10 of 14;\n control < ~52% of SRM for all but one trace; "
                "session traffic is identical\n under both protocols and "
                "excluded, as in the paper)\n";
+  if (opts.wire_bytes) {
+    std::cout << "\n";
+    wire.print();
+    std::cout << "(per link crossing, each packet costs its encoded v1 wire "
+                 "frame size:\n 32 B header + 12 B request / 28 B "
+                 "reply-or-expedited annotation + payload;\n byte counts "
+                 "weigh the categories by frame size, which link-crossing\n "
+                 "counts flatten)\n";
+  }
   bench::write_json(opts, sink);
   return 0;
 }

@@ -12,11 +12,18 @@ const char* policy_name(ExpeditionPolicy policy) {
   return "?";
 }
 
-ExpeditionPolicy parse_policy(const std::string& name) {
+const char* policy_names() { return "most-recent, most-frequent"; }
+
+std::optional<ExpeditionPolicy> try_parse_policy(const std::string& name) {
   if (name == "most-recent") return ExpeditionPolicy::kMostRecent;
   if (name == "most-frequent") return ExpeditionPolicy::kMostFrequent;
-  CESRM_CHECK_MSG(false, "unknown expedition policy: " << name);
-  return ExpeditionPolicy::kMostRecent;
+  return std::nullopt;
+}
+
+ExpeditionPolicy parse_policy(const std::string& name) {
+  if (auto policy = try_parse_policy(name)) return *policy;
+  throw util::CheckError("unknown expedition policy '" + name +
+                         "' (valid: " + policy_names() + ")");
 }
 
 std::optional<RecoveryTuple> select_pair(const RecoveryCache& cache,

@@ -22,7 +22,16 @@ enum class ExpeditionPolicy {
 };
 
 const char* policy_name(ExpeditionPolicy policy);
-/// Parses "most-recent" / "most-frequent"; CHECK-fails otherwise.
+
+/// The accepted spellings, comma-joined — for error messages and --help.
+const char* policy_names();
+
+/// Parses "most-recent" / "most-frequent"; nullopt otherwise.
+std::optional<ExpeditionPolicy> try_parse_policy(const std::string& name);
+
+/// Parses "most-recent" / "most-frequent"; throws util::CheckError with a
+/// message listing the valid spellings otherwise (the CLI front-ends catch
+/// it and print `error: ...` instead of a stack of CHECK noise).
 ExpeditionPolicy parse_policy(const std::string& name);
 
 /// Applies `policy` to `cache`; nullopt when the cache is empty.

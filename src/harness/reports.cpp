@@ -154,6 +154,33 @@ Fig5Stats figure5(const ExperimentResult& srm, const ExperimentResult& cesrm) {
   return out;
 }
 
+Fig5WireStats figure5_wire(const ExperimentResult& srm,
+                           const ExperimentResult& cesrm) {
+  Fig5WireStats out;
+  out.trace_name = cesrm.trace_name;
+
+  using PT = net::PacketType;
+  out.srm_retrans_bytes = srm.crossings.wire_bytes_of(PT::kReply);
+  out.cesrm_retrans_bytes = cesrm.crossings.wire_bytes_of(PT::kReply) +
+                            cesrm.crossings.wire_bytes_of(PT::kExpReply);
+  out.srm_control_bytes = srm.crossings.wire_bytes_of(PT::kRequest);
+  out.cesrm_mcast_control_bytes = cesrm.crossings.wire_bytes_of(PT::kRequest);
+  out.cesrm_ucast_control_bytes =
+      cesrm.crossings.wire_bytes_of(PT::kExpRequest);
+
+  const auto pct = [](std::uint64_t num, std::uint64_t den) {
+    return den ? 100.0 * static_cast<double>(num) / static_cast<double>(den)
+               : 0.0;
+  };
+  out.retransmission_pct_of_srm =
+      pct(out.cesrm_retrans_bytes, out.srm_retrans_bytes);
+  out.control_multicast_pct_of_srm =
+      pct(out.cesrm_mcast_control_bytes, out.srm_control_bytes);
+  out.control_unicast_pct_of_srm =
+      pct(out.cesrm_ucast_control_bytes, out.srm_control_bytes);
+  return out;
+}
+
 // --------------------------------------------------------------- JSON ------
 
 using util::json_double;

@@ -82,6 +82,29 @@ struct Fig5Stats {
 };
 Fig5Stats figure5(const ExperimentResult& srm, const ExperimentResult& cesrm);
 
+/// Figure 5 companion (wire codec): the same overhead comparison measured
+/// in encoded wire bytes — Packet::encoded_size() accumulated per link
+/// crossing — rather than crossing counts. Counting bytes weighs each
+/// category by its actual frame size (a 28-byte expedited annotation vs. a
+/// 12-byte request annotation vs. 1 KB payloads), which crossing counts
+/// flatten. Rendered by `bench_fig5_overhead --wire-bytes`.
+struct Fig5WireStats {
+  std::string trace_name;
+  std::uint64_t srm_retrans_bytes = 0;    ///< REPL bytes crossed (SRM)
+  std::uint64_t cesrm_retrans_bytes = 0;  ///< REPL + EREPL bytes (CESRM)
+  std::uint64_t srm_control_bytes = 0;    ///< RQST bytes crossed (SRM)
+  std::uint64_t cesrm_mcast_control_bytes = 0;  ///< RQST bytes (CESRM)
+  std::uint64_t cesrm_ucast_control_bytes = 0;  ///< ERQST bytes (CESRM)
+  double retransmission_pct_of_srm = 0.0;
+  double control_multicast_pct_of_srm = 0.0;
+  double control_unicast_pct_of_srm = 0.0;
+  double total_control_pct_of_srm() const {
+    return control_multicast_pct_of_srm + control_unicast_pct_of_srm;
+  }
+};
+Fig5WireStats figure5_wire(const ExperimentResult& srm,
+                           const ExperimentResult& cesrm);
+
 /// §3.4 analysis: the closed-form bounds of Equations (1) and (2).
 struct AnalysisBounds {
   /// Eq. (1): rough upper bound on the average first-round non-expedited

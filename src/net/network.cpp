@@ -101,6 +101,7 @@ void Network::send_hop(NodeId from, NodeId to, const PacketRef& pkt,
     case Mode::kUnicast: ++stats_.unicast[type_idx]; break;
     case Mode::kSubcast: ++stats_.subcast[type_idx]; break;
   }
+  stats_.wire_bytes[type_idx] += pkt->encoded_size();
   if (crossing_lost(*pkt, from, to)) return;
   sim::SimTime arrival = transmit(from, to, pkt->size_bytes);
   if (perturb_fn_) {
@@ -211,6 +212,8 @@ void Network::unicast_subcast(NodeId from, NodeId router, const Packet& pkt) {
     const NodeId next = tree_.next_hop_toward(cur, router);
     CESRM_CHECK(next != kInvalidNode);
     ++stats_.unicast[static_cast<std::size_t>(leg.type)];
+    stats_.wire_bytes[static_cast<std::size_t>(leg.type)] +=
+        leg.encoded_size();
     if (crossing_lost(leg, cur, next)) return;  // leg lost: no subcast
     // Approximate queueing on the leg by advancing the busy horizon as of
     // `when` (the hop's local send time).

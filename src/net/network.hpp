@@ -75,6 +75,10 @@ struct CrossingStats {
   std::array<std::uint64_t, kPacketTypeCount> dropped{};
   /// Extra copies injected by the perturbation hook (fault injection).
   std::array<std::uint64_t, kPacketTypeCount> duplicated{};
+  /// Encoded wire bytes per link crossing (Packet::encoded_size(), the
+  /// canonical v1 frame size), counted at the same point as the crossing
+  /// counters — before the loss decision, across every delivery primitive.
+  std::array<std::uint64_t, kPacketTypeCount> wire_bytes{};
 
   std::uint64_t multicast_of(PacketType t) const {
     return multicast[static_cast<std::size_t>(t)];
@@ -88,6 +92,9 @@ struct CrossingStats {
   std::uint64_t total_of(PacketType t) const {
     const auto i = static_cast<std::size_t>(t);
     return multicast[i] + unicast[i] + subcast[i];
+  }
+  std::uint64_t wire_bytes_of(PacketType t) const {
+    return wire_bytes[static_cast<std::size_t>(t)];
   }
 };
 

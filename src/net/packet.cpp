@@ -1,5 +1,7 @@
 #include "net/packet.hpp"
 
+#include "wire/layout.hpp"
+
 namespace cesrm::net {
 
 const char* packet_type_name(PacketType t) {
@@ -20,6 +22,41 @@ bool is_payload(PacketType t) {
 }
 
 int default_size_bytes(PacketType t) { return is_payload(t) ? 1024 : 0; }
+
+std::size_t Packet::encoded_size() const {
+  std::size_t n = wire::kHeaderSize;
+  switch (type) {
+    case PacketType::kData:
+      break;
+    case PacketType::kSession:
+      n += wire::kSessionFixedSize;
+      if (session) {
+        n += session->streams.size() * wire::kStreamAdvertSize;
+        n += session->echoes.size() * wire::kSessionEchoSize;
+      }
+      break;
+    case PacketType::kRequest:
+      n += wire::kRequestAnnSize;
+      break;
+    case PacketType::kReply:
+    case PacketType::kExpRequest:
+    case PacketType::kExpReply:
+      n += wire::kReplyAnnSize;
+      break;
+  }
+  if (size_bytes > 0) n += static_cast<std::size_t>(size_bytes);
+  return n;
+}
+
+bool operator==(const Packet& a, const Packet& b) {
+  if (a.type != b.type || a.source != b.source || a.seq != b.seq ||
+      a.sender != b.sender || a.dest != b.dest ||
+      a.size_bytes != b.size_bytes || !(a.ann == b.ann))
+    return false;
+  if (a.session == b.session) return true;
+  if (!a.session || !b.session) return false;
+  return *a.session == *b.session;
+}
 
 Packet make_data_packet(NodeId source, SeqNo seq) {
   Packet p;

@@ -11,6 +11,7 @@
 // extension of the SRM packet formats.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -55,6 +56,9 @@ struct RecoveryAnnotation {
   double recovery_delay() const {
     return dist_requestor_source + 2.0 * dist_replier_requestor;
   }
+
+  friend bool operator==(const RecoveryAnnotation&,
+                         const RecoveryAnnotation&) = default;
 };
 
 /// One timing-echo entry of a session message: "I last heard session
@@ -65,6 +69,8 @@ struct SessionEcho {
   NodeId peer = kInvalidNode;
   sim::SimTime peer_stamp;  ///< send timestamp of the echoed message
   sim::SimTime hold;        ///< time it sat at the echoing host
+
+  friend bool operator==(const SessionEcho&, const SessionEcho&) = default;
 };
 
 /// Reception-state advertisement for one data stream: "the stream
@@ -72,6 +78,8 @@ struct SessionEcho {
 struct StreamAdvert {
   NodeId source = kInvalidNode;
   SeqNo highest_seq = kNoSeq;
+
+  friend bool operator==(const StreamAdvert&, const StreamAdvert&) = default;
 };
 
 /// Session message payload: per-stream reception state (for loss
@@ -80,6 +88,9 @@ struct SessionPayload {
   sim::SimTime stamp;  ///< sender's transmission timestamp
   std::vector<StreamAdvert> streams;
   std::vector<SessionEcho> echoes;
+
+  friend bool operator==(const SessionPayload&,
+                         const SessionPayload&) = default;
 };
 
 struct Packet {
@@ -93,6 +104,15 @@ struct Packet {
   std::shared_ptr<const SessionPayload> session;
 
   bool is_unicast() const { return dest != kInvalidNode; }
+
+  /// Exact size of this packet's canonical wire frame (src/wire codec):
+  /// header + per-type fields + zero-filled payload. The configured
+  /// size_bytes is the *simulated* serialization size; this is what the
+  /// PDU would cost on a real wire (control packets are not free there).
+  std::size_t encoded_size() const;
+
+  /// Value equality; session payloads compare through the pointer.
+  friend bool operator==(const Packet& a, const Packet& b);
 };
 
 /// Convenience constructors keeping call sites terse and uniform.

@@ -22,6 +22,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kSessionSent: return "session_sent";
     case EventKind::kPacketDropped: return "packet_dropped";
     case EventKind::kFaultApplied: return "fault_applied";
+    case EventKind::kDecodeError: return "decode_error";
     case EventKind::kCount: break;
   }
   return "?";

@@ -48,6 +48,8 @@ enum class EventKind : std::uint8_t {
   kPacketDropped,        ///< link crossing lost; node: to, peer: from,
                          ///< detail: PacketType
   kFaultApplied,         ///< detail: FaultDetail; node: member or link child
+  kDecodeError,          ///< malformed wire frame dropped at ingress;
+                         ///< detail: wire::DecodeErrorKind
 
   kCount,
 };

@@ -5,6 +5,7 @@
 #include "obs/trace_recorder.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
+#include "wire/codec.hpp"
 
 namespace cesrm::srm {
 
@@ -237,6 +238,22 @@ void SrmAgent::on_packet(const net::Packet& pkt) {
       on_exp_request(pkt);
       break;
   }
+}
+
+bool SrmAgent::on_wire(std::span<const std::uint8_t> bytes) {
+  net::Packet pkt;
+  if (auto err = wire::decode_packet_exact(bytes, &pkt)) {
+    const auto kind = static_cast<std::size_t>(err->kind);
+    ++stats_.wire_decode_errors[kind];
+    if (auto* rec = sim_.recorder())
+      rec->emit(sim_.now(), obs::EventKind::kDecodeError, self_,
+                net::kInvalidNode, net::kNoSeq, net::kInvalidNode,
+                static_cast<int>(err->kind));
+    return false;
+  }
+  ++stats_.wire_packets_decoded;
+  on_packet(pkt);
+  return true;
 }
 
 // ---------------------------------------------------------------------------

@@ -40,9 +40,11 @@
 // every figure of §4.4.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -54,6 +56,7 @@
 #include "srm/config.hpp"
 #include "srm/session.hpp"
 #include "util/rng.hpp"
+#include "wire/layout.hpp"
 
 namespace cesrm::srm {
 
@@ -102,6 +105,17 @@ struct HostStats {
   /// Losses whose recovery state was discarded because the member crashed
   /// while they were outstanding (they appear in no RecoveryRecord).
   std::uint64_t losses_abandoned_at_crash = 0;
+  /// Wire frames accepted by on_wire() and dispatched into the protocol.
+  std::uint64_t wire_packets_decoded = 0;
+  /// Wire frames rejected by on_wire(), by decode-error kind. Malformed
+  /// input is dropped at ingress — it never reaches protocol state.
+  std::array<std::uint64_t, wire::kDecodeErrorKindCount> wire_decode_errors{};
+  /// Total frames rejected at ingress (sum of wire_decode_errors).
+  std::uint64_t wire_decode_errors_total() const {
+    std::uint64_t n = 0;
+    for (auto c : wire_decode_errors) n += c;
+    return n;
+  }
   std::vector<RecoveryRecord> recoveries;
 };
 
@@ -142,6 +156,15 @@ class SrmAgent : public net::Agent {
 
   // net::Agent
   void on_packet(const net::Packet& pkt) override;
+
+  /// Hardened wire-format ingress: decodes exactly one frame from `bytes`
+  /// and dispatches it through on_packet(). Malformed input of any kind —
+  /// truncation, bad magic/version, out-of-range fields, trailing bytes —
+  /// is counted in HostStats::wire_decode_errors, reported as an
+  /// obs::EventKind::kDecodeError trace event (detail = the error kind),
+  /// and dropped without touching any protocol state. Returns true when
+  /// the frame was accepted.
+  bool on_wire(std::span<const std::uint8_t> bytes);
 
   net::NodeId node() const { return self_; }
   net::NodeId primary_source() const { return primary_source_; }

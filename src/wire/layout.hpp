@@ -1,0 +1,87 @@
+// layout.hpp — the canonical CESRM wire layout: constants, field sizes,
+// validation bounds, and the decode-error taxonomy.
+//
+// This header is deliberately dependency-free (plain integers only) so the
+// lowest layers can share the byte accounting without linking the codec:
+// net::Packet::encoded_size() sums these constants, and wire::Encoder
+// produces frames whose sizes match it exactly (enforced by the wire test
+// suite). Everything on the wire is little-endian; multi-byte fields are
+// assembled byte-by-byte, so the format is identical on any host.
+//
+// Frame layout (version 1), one PDU per frame:
+//
+//   off  0  u16  magic        0xCE04
+//   off  2  u8   version      1
+//   off  3  u8   type         PacketType (0..5)
+//   off  4  u32  frame_len    total frame bytes, header included
+//   off  8  i32  source       stream originator (>= 0)
+//   off 12  i64  seq          data sequence number (-1 for SESSION)
+//   off 20  i32  sender       transmitting member (>= 0)
+//   off 24  i32  dest         unicast destination (-1 unless EXP-REQUEST)
+//   off 28  u32  payload_len  payload bytes that follow the typed fields
+//   off 32  ...  per-type fields, then payload_len zero bytes
+//
+// Per-type fields:
+//   DATA                — none
+//   SESSION             — i64 stamp_ns, u16 n_streams, u16 n_echoes,
+//                         n_streams × { i32 source, i64 highest_seq },
+//                         n_echoes  × { i32 peer, i64 stamp_ns, i64 hold_ns }
+//   REQUEST             — i32 requestor, f64 dist_requestor_source
+//   REPLY / EXP-REQUEST / EXP-REPLY
+//                       — i32 requestor, f64 dist_requestor_source,
+//                         i32 replier,   f64 dist_replier_requestor,
+//                         i32 turning_point    (the §3.1 tuple + §3.3 field)
+//
+// The simulator does not model payload content, so the canonical encoding
+// zero-fills the payload and the decoder rejects non-zero payload bytes —
+// this keeps encode(decode(b)) == b exact for every accepted frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace cesrm::wire {
+
+inline constexpr std::uint16_t kMagic = 0xCE04;
+inline constexpr std::uint8_t kVersion = 1;
+
+// Fixed sizes, in bytes.
+inline constexpr std::size_t kFramePrefixSize = 8;  // magic..frame_len
+inline constexpr std::size_t kHeaderSize = 32;
+inline constexpr std::size_t kRequestAnnSize = 12;   // i32 + f64
+inline constexpr std::size_t kReplyAnnSize = 28;     // i32+f64+i32+f64+i32
+inline constexpr std::size_t kSessionFixedSize = 12; // i64 stamp + 2 × u16
+inline constexpr std::size_t kStreamAdvertSize = 12; // i32 + i64
+inline constexpr std::size_t kSessionEchoSize = 20;  // i32 + i64 + i64
+
+// Validation bounds. Generous for any simulated topology, tight enough to
+// classify random garbage as kFieldOutOfRange rather than allocate for it.
+inline constexpr std::int32_t kMaxNodeId = (1 << 24) - 1;
+inline constexpr std::int64_t kMaxSeqNo = (1LL << 48) - 1;
+inline constexpr std::uint32_t kMaxPayloadBytes = 1u << 20;
+inline constexpr std::uint32_t kMaxFrameBytes = 4u << 20;
+inline constexpr double kMaxDistanceSeconds = 1e6;
+
+/// Everything a hostile byte stream can be rejected for. Decoding never
+/// throws and never reads out of bounds; it returns one of these.
+enum class DecodeErrorKind : std::uint8_t {
+  kTruncated = 0,       ///< frame ends before a field (or the stated length)
+  kBadMagic,            ///< first two bytes are not kMagic
+  kBadVersion,          ///< version byte is not kVersion
+  kFieldOutOfRange,     ///< a parsed field violates its documented bounds
+  kTrailingGarbage,     ///< bytes left over inside or after a parsed frame
+};
+inline constexpr std::size_t kDecodeErrorKindCount = 5;
+
+inline constexpr const char* decode_error_name(DecodeErrorKind kind) {
+  switch (kind) {
+    case DecodeErrorKind::kTruncated: return "truncated";
+    case DecodeErrorKind::kBadMagic: return "bad-magic";
+    case DecodeErrorKind::kBadVersion: return "bad-version";
+    case DecodeErrorKind::kFieldOutOfRange: return "field-out-of-range";
+    case DecodeErrorKind::kTrailingGarbage: return "trailing-garbage";
+  }
+  return "?";
+}
+
+}  // namespace cesrm::wire

@@ -1,0 +1,101 @@
+#include "wire/random.hpp"
+
+#include "wire/layout.hpp"
+
+namespace cesrm::wire {
+
+namespace {
+
+net::NodeId random_node(util::Rng& rng) {
+  // Mostly tree-sized ids, occasionally the full validated range.
+  if (rng.bernoulli(0.9))
+    return static_cast<net::NodeId>(rng.uniform_int(0, 200));
+  return static_cast<net::NodeId>(rng.uniform_int(0, kMaxNodeId));
+}
+
+net::SeqNo random_seq(util::Rng& rng) {
+  if (rng.bernoulli(0.9)) return rng.uniform_int(0, 100000);
+  return rng.uniform_int(0, kMaxSeqNo);
+}
+
+double random_dist(util::Rng& rng) {
+  // Distances are one-way latency estimates: usually well under a second,
+  // occasionally near the validation bound.
+  if (rng.bernoulli(0.95)) return rng.uniform(0.0, 2.0);
+  return rng.uniform(0.0, kMaxDistanceSeconds);
+}
+
+sim::SimTime random_time(util::Rng& rng) {
+  return sim::SimTime::nanos(rng.uniform_int(0, 3600LL * 1000000000LL));
+}
+
+net::RecoveryAnnotation random_annotation(util::Rng& rng, bool full) {
+  net::RecoveryAnnotation ann;
+  ann.requestor = random_node(rng);
+  ann.dist_requestor_source = random_dist(rng);
+  if (full) {
+    ann.replier = random_node(rng);
+    ann.dist_replier_requestor = random_dist(rng);
+    if (rng.bernoulli(0.5)) ann.turning_point = random_node(rng);
+  }
+  return ann;
+}
+
+}  // namespace
+
+net::Packet random_packet_of(net::PacketType type, util::Rng& rng) {
+  net::Packet p;
+  p.type = type;
+  p.source = random_node(rng);
+  p.sender = random_node(rng);
+  switch (type) {
+    case net::PacketType::kData:
+      p.seq = random_seq(rng);
+      p.size_bytes = rng.bernoulli(0.8)
+                         ? 1024
+                         : static_cast<int>(rng.uniform_int(0, 4096));
+      break;
+    case net::PacketType::kSession: {
+      auto session = std::make_shared<net::SessionPayload>();
+      session->stamp = random_time(rng);
+      const auto n_streams = rng.uniform_int(0, 8);
+      for (std::int64_t i = 0; i < n_streams; ++i)
+        session->streams.push_back(
+            {random_node(rng), rng.bernoulli(0.1) ? net::kNoSeq
+                                                  : random_seq(rng)});
+      const auto n_echoes = rng.uniform_int(0, 16);
+      for (std::int64_t i = 0; i < n_echoes; ++i)
+        session->echoes.push_back(
+            {random_node(rng), random_time(rng), random_time(rng)});
+      p.session = std::move(session);
+      break;
+    }
+    case net::PacketType::kRequest:
+      p.seq = random_seq(rng);
+      p.ann = random_annotation(rng, /*full=*/false);
+      break;
+    case net::PacketType::kReply:
+    case net::PacketType::kExpReply:
+      p.seq = random_seq(rng);
+      p.size_bytes = rng.bernoulli(0.8)
+                         ? 1024
+                         : static_cast<int>(rng.uniform_int(0, 4096));
+      p.ann = random_annotation(rng, /*full=*/true);
+      break;
+    case net::PacketType::kExpRequest:
+      p.seq = random_seq(rng);
+      p.dest = random_node(rng);
+      p.ann = random_annotation(rng, /*full=*/true);
+      break;
+  }
+  return p;
+}
+
+net::Packet random_packet(util::Rng& rng) {
+  return random_packet_of(
+      static_cast<net::PacketType>(
+          rng.uniform_int(0, net::kPacketTypeCount - 1)),
+      rng);
+}
+
+}  // namespace cesrm::wire

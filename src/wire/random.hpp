@@ -1,0 +1,22 @@
+// random.hpp — deterministic randomized PDU generation.
+//
+// One generator serves three customers: the encode→decode→encode
+// round-trip property tests, the structure-aware mutation fuzzer (valid
+// frames are the seeds it corrupts), and `cesrm_cli wire-gen` (sample
+// binary traces for the wire-dump/wire-check recipes). Generated packets
+// respect the protocol construction invariants the codec validates —
+// every random packet must round-trip exactly.
+#pragma once
+
+#include "net/packet.hpp"
+#include "util/rng.hpp"
+
+namespace cesrm::wire {
+
+/// A random protocol-shaped packet of the given kind.
+net::Packet random_packet_of(net::PacketType type, util::Rng& rng);
+
+/// A random packet of a uniformly random kind.
+net::Packet random_packet(util::Rng& rng);
+
+}  // namespace cesrm::wire

@@ -118,6 +118,50 @@ TEST(RecoveryCache, MostFrequentTieBreaksTowardRecent) {
   EXPECT_EQ(freq->requestor, 4);  // both count 1; seq 2 is newer
 }
 
+TEST(RecoveryCache, MostFrequentTieBrokenByExtraOccurrence) {
+  RecoveryCache cache(8);
+  cache.update(tuple(1, 3, 0.1, 0, 0.1));
+  cache.update(tuple(2, 4, 0.1, 5, 0.1));  // newer pair wins the 1-1 tie...
+  cache.update(tuple(3, 3, 0.1, 0, 0.1));  // ...until (3,0) reaches count 2
+  const auto freq = cache.most_frequent();
+  ASSERT_TRUE(freq.has_value());
+  EXPECT_EQ(freq->requestor, 3);
+  EXPECT_EQ(freq->seq, 3);  // the winning pair's most recent occurrence
+}
+
+TEST(RecoveryCache, EvictionTriggersExactlyAtCapacity) {
+  RecoveryCache cache(3);
+  cache.update(tuple(1, 3, 0.1, 0, 0.1));
+  cache.update(tuple(2, 3, 0.1, 0, 0.1));
+  EXPECT_EQ(cache.size(), 2u);  // below capacity: nothing evicted yet
+  EXPECT_EQ(cache.entries().count(1), 1u);
+  cache.update(tuple(3, 3, 0.1, 0, 0.1));
+  EXPECT_EQ(cache.size(), 3u);  // the insert that *reaches* capacity keeps
+  EXPECT_EQ(cache.entries().count(1), 1u);  // the oldest entry intact
+  cache.update(tuple(4, 3, 0.1, 0, 0.1));
+  EXPECT_EQ(cache.size(), 3u);  // one past capacity: oldest evicted, and
+  EXPECT_EQ(cache.entries().count(1), 0u);  // size never exceeds capacity
+  EXPECT_EQ(cache.entries().count(2), 1u);
+}
+
+TEST(RecoveryCache, OlderPacketsAcceptedWhileBelowCapacity) {
+  // The ignore-older rule only applies to a *full* cache; while there is
+  // room, an out-of-order (older) recovery is still worth caching.
+  RecoveryCache cache(3);
+  cache.update(tuple(10, 3, 0.1, 0, 0.1));
+  EXPECT_TRUE(cache.update(tuple(4, 4, 0.1, 5, 0.1)));
+  EXPECT_EQ(cache.entries().count(4), 1u);
+  // Once full, a packet older than everything cached is ignored even if
+  // its pair would be optimal.
+  cache.update(tuple(11, 3, 0.1, 0, 0.1));
+  EXPECT_FALSE(cache.update(tuple(2, 6, 0.0, 7, 0.0)));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.entries().count(2), 0u);
+  // But a reply for a packet *already cached* still improves in place.
+  EXPECT_TRUE(cache.update(tuple(4, 6, 0.0, 7, 0.0)));
+  EXPECT_EQ(cache.entries().at(4).requestor, 6);
+}
+
 // --------------------------------------------------------------- policy ----
 
 TEST(Policy, SelectDispatches) {
@@ -135,6 +179,29 @@ TEST(Policy, NamesRoundTrip) {
   EXPECT_STREQ(policy_name(ExpeditionPolicy::kMostRecent), "most-recent");
   EXPECT_EQ(parse_policy("most-frequent"), ExpeditionPolicy::kMostFrequent);
   EXPECT_THROW(parse_policy("nope"), util::CheckError);
+}
+
+TEST(Policy, TryParseReturnsNulloptOnTypos) {
+  EXPECT_EQ(try_parse_policy("most-recent"), ExpeditionPolicy::kMostRecent);
+  EXPECT_EQ(try_parse_policy("most-frequent"),
+            ExpeditionPolicy::kMostFrequent);
+  EXPECT_FALSE(try_parse_policy("most_recent").has_value());
+  EXPECT_FALSE(try_parse_policy("").has_value());
+}
+
+TEST(Policy, ParseErrorListsValidValues) {
+  // A CLI typo should produce a friendly message naming the accepted
+  // spellings, not a CHECK-failure with a source location.
+  try {
+    parse_policy("most_recent");
+    FAIL() << "expected util::CheckError";
+  } catch (const util::CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("most_recent"), std::string::npos);
+    EXPECT_NE(what.find("most-recent"), std::string::npos);
+    EXPECT_NE(what.find("most-frequent"), std::string::npos);
+    EXPECT_EQ(what.find("CHECK"), std::string::npos);
+  }
 }
 
 // -------------------------------------------------------------- fixture ----

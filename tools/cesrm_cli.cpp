@@ -23,6 +23,21 @@
 //   compare   --in=FILE
 //       Replay under SRM and CESRM and print the paper's headline
 //       comparison (Figure 1 per-receiver table + Figure 5 numbers).
+//
+//   wire-gen  --out=FILE [--count=N] [--seed=S]
+//       Write a binary trace of N random protocol-shaped PDUs in the v1
+//       wire format (back-to-back canonical frames) — sample input for
+//       wire-dump/wire-check and seed material for the fuzz corpus.
+//
+//   wire-dump --in=FILE [--max=N]
+//       Decode a binary frame trace and print one line per PDU. Exits 2
+//       (with the error kind, offset, and field) on the first malformed
+//       frame.
+//
+//   wire-check --in=FILE
+//       Strict validation: every frame must decode and re-encode to the
+//       identical bytes (the canonical round-trip). Exit 0 = clean,
+//       1 = I/O error, 2 = malformed or non-canonical.
 
 #include <fstream>
 #include <iostream>
@@ -45,6 +60,8 @@
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "wire/codec.hpp"
+#include "wire/random.hpp"
 
 namespace {
 
@@ -136,7 +153,8 @@ int cmd_estimate(const util::CliFlags& flags) {
   } else if (method == "yajnik") {
     rates = infer::estimate_links_yajnik(t).loss_rate;
   } else {
-    std::cerr << "estimate: unknown --method '" << method << "'\n";
+    std::cerr << "estimate: unknown --method '" << method
+              << "' (valid: yajnik, minc)\n";
     return 1;
   }
 
@@ -321,7 +339,8 @@ int cmd_simulate(const util::CliFlags& flags) {
   } else if (protocol == "cesrm") {
     proto = Protocol::kCesrm;
   } else {
-    std::cerr << "simulate: unknown --protocol '" << protocol << "'\n";
+    std::cerr << "simulate: unknown --protocol '" << protocol
+              << "' (valid: srm, cesrm, lms)\n";
     return 1;
   }
 
@@ -407,11 +426,142 @@ int cmd_compare(const util::CliFlags& flags) {
   return 0;
 }
 
+// ----------------------------------------------------------- wire ------
+
+bool read_binary_file(const std::string& path,
+                      std::vector<std::uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  out->assign(std::istreambuf_iterator<char>(in),
+              std::istreambuf_iterator<char>());
+  return !in.bad();
+}
+
+// One human-readable line per decoded frame.
+void print_frame(std::size_t index, std::size_t offset,
+                 const net::Packet& pkt) {
+  std::cout << "[" << index << "] @" << offset << " "
+            << net::packet_type_name(pkt.type) << " src=" << pkt.source
+            << " seq=" << pkt.seq << " sender=" << pkt.sender;
+  if (pkt.dest != net::kInvalidNode) std::cout << " dest=" << pkt.dest;
+  if (pkt.size_bytes > 0) std::cout << " payload=" << pkt.size_bytes;
+  if (pkt.type == net::PacketType::kSession && pkt.session)
+    std::cout << " streams=" << pkt.session->streams.size()
+              << " echoes=" << pkt.session->echoes.size();
+  if (pkt.ann.requestor != net::kInvalidNode)
+    std::cout << " ann=<q=" << pkt.ann.requestor << ",d_qs="
+              << util::fmt_fixed(pkt.ann.dist_requestor_source, 4)
+              << ",r=" << pkt.ann.replier << ",d_rq="
+              << util::fmt_fixed(pkt.ann.dist_replier_requestor, 4)
+              << ",tp=" << pkt.ann.turning_point << ">";
+  std::cout << " (" << pkt.encoded_size() << " B)\n";
+}
+
+int print_decode_error(const wire::DecodeError& err) {
+  std::cerr << "malformed frame: " << wire::decode_error_name(err.kind)
+            << " at byte " << err.offset;
+  if (err.field[0] != '\0') std::cerr << " (field: " << err.field << ")";
+  std::cerr << "\n";
+  return 2;
+}
+
+int cmd_wire_gen(const util::CliFlags& flags) {
+  const std::string out_path = flags.get_string("out");
+  if (out_path.empty()) {
+    std::cerr << "wire-gen: --out=FILE is required\n";
+    return 1;
+  }
+  const std::int64_t count = flags.get_int("count");
+  if (count < 1) {
+    std::cerr << "wire-gen: bad --count " << count << " (want >= 1)\n";
+    return 1;
+  }
+  util::Rng rng(static_cast<std::uint64_t>(flags.get_int("seed")));
+  wire::Encoder enc;
+  for (std::int64_t i = 0; i < count; ++i)
+    enc.add(wire::random_packet(rng));
+  std::ofstream out(out_path, std::ios::binary);
+  if (!out ||
+      !out.write(reinterpret_cast<const char*>(enc.bytes().data()),
+                 static_cast<std::streamsize>(enc.bytes().size()))) {
+    std::cerr << "wire-gen: could not write " << out_path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << out_path << ": " << enc.total_count()
+            << " frames, " << enc.total_bytes() << " bytes\n";
+  for (int t = 0; t < net::kPacketTypeCount; ++t) {
+    const auto type = static_cast<net::PacketType>(t);
+    if (enc.count_of(type) == 0) continue;
+    std::cout << "  " << net::packet_type_name(type) << ": "
+              << enc.count_of(type) << " frames, " << enc.bytes_of(type)
+              << " bytes\n";
+  }
+  return 0;
+}
+
+int cmd_wire_dump(const util::CliFlags& flags) {
+  std::vector<std::uint8_t> buf;
+  if (!read_binary_file(flags.get_string("in"), &buf)) {
+    std::cerr << "wire-dump: could not read '" << flags.get_string("in")
+              << "'\n";
+    return 1;
+  }
+  const std::int64_t max = flags.get_int("max");
+  wire::Decoder dec(buf);
+  net::Packet pkt;
+  std::size_t printed = 0;
+  while (true) {
+    const std::size_t offset = dec.offset();
+    if (!dec.next(&pkt)) break;
+    if (max <= 0 || static_cast<std::int64_t>(printed) < max)
+      print_frame(dec.frames_decoded() - 1, offset, pkt);
+    ++printed;
+  }
+  if (dec.error()) return print_decode_error(*dec.error());
+  if (max > 0 && static_cast<std::int64_t>(printed) > max)
+    std::cout << "... (" << printed - static_cast<std::size_t>(max)
+              << " more frames)\n";
+  std::cout << dec.frames_decoded() << " frames, " << dec.offset()
+            << " bytes\n";
+  return 0;
+}
+
+int cmd_wire_check(const util::CliFlags& flags) {
+  std::vector<std::uint8_t> buf;
+  if (!read_binary_file(flags.get_string("in"), &buf)) {
+    std::cerr << "wire-check: could not read '" << flags.get_string("in")
+              << "'\n";
+    return 1;
+  }
+  wire::Decoder dec(buf);
+  wire::Encoder reenc;
+  net::Packet pkt;
+  while (true) {
+    const std::size_t offset = dec.offset();
+    if (!dec.next(&pkt)) break;
+    // Canonicality: the accepted frame must re-encode to its own bytes.
+    const std::size_t size = reenc.add(pkt);
+    const auto& re = reenc.bytes();
+    if (size != dec.offset() - offset ||
+        !std::equal(re.end() - static_cast<std::ptrdiff_t>(size), re.end(),
+                    buf.begin() + static_cast<std::ptrdiff_t>(offset))) {
+      std::cerr << "non-canonical frame at byte " << offset
+                << ": re-encode differs\n";
+      return 2;
+    }
+  }
+  if (dec.error()) return print_decode_error(*dec.error());
+  std::cout << "ok: " << dec.frames_decoded() << " frames, " << dec.offset()
+            << " bytes, all canonical\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   util::CliFlags flags(
-      "cesrm_cli — generate/inspect/estimate/simulate/compare CESRM traces");
+      "cesrm_cli — generate/inspect/estimate/simulate/compare CESRM traces, "
+      "wire-gen/wire-dump/wire-check binary PDU frames");
   flags.add_int("trace", 1, "Table-1 trace id for 'generate'");
   flags.add_int("packets-cap", 0, "cap packets when generating (0 = full)");
   flags.add_string("out", "", "output trace file for 'generate'");
@@ -435,13 +585,15 @@ int main(int argc, char** argv) {
                    "write simulate/compare run metrics here as JSON");
   flags.add_string("log-level", "warn",
                    "log threshold: trace|debug|info|warn|error|off");
+  flags.add_int("count", 100, "frames to generate for 'wire-gen'");
+  flags.add_int("max", 0, "max frames to print for 'wire-dump' (0 = all)");
   if (!flags.parse(argc, argv)) return 1;
   util::set_log_threshold(
       util::parse_log_level(flags.get_string("log-level")));
 
   if (flags.positional().size() != 1) {
     std::cerr << "usage: cesrm_cli <generate|inspect|estimate|simulate|"
-                 "compare> [flags]\n"
+                 "compare|wire-gen|wire-dump|wire-check> [flags]\n"
               << flags.usage();
     return 1;
   }
@@ -452,6 +604,9 @@ int main(int argc, char** argv) {
     if (cmd == "estimate") return cmd_estimate(flags);
     if (cmd == "simulate") return cmd_simulate(flags);
     if (cmd == "compare") return cmd_compare(flags);
+    if (cmd == "wire-gen") return cmd_wire_gen(flags);
+    if (cmd == "wire-dump") return cmd_wire_dump(flags);
+    if (cmd == "wire-check") return cmd_wire_check(flags);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

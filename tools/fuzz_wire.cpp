@@ -1,0 +1,42 @@
+// fuzz_wire — libFuzzer entry point for the wire-format decoder.
+//
+// Built only when -DCESRM_FUZZ=ON and the compiler is Clang (libFuzzer is
+// a Clang runtime); the default gcc build is untouched. The deterministic
+// in-tree mutation fuzzer (tests/test_wire.cpp, CTest label `wire`) covers
+// CI; this target is for open-ended local exploration:
+//
+//   cmake -B build-fuzz -S . -DCMAKE_CXX_COMPILER=clang++ \
+//         -DCESRM_FUZZ=ON -DCESRM_SANITIZE=address
+//   cmake --build build-fuzz --target fuzz_wire
+//   build-fuzz/tools/fuzz_wire tests/corpus/  # seed with any binary frames
+//
+// Interesting findings should be converted to .hex files under
+// tests/corpus/wire/ (see its README) so they are replayed forever.
+//
+// The invariants checked on every input mirror the test suite: decoding
+// never crashes or reads out of bounds (ASan enforces), and any accepted
+// frame must re-encode byte-identically to what was consumed.
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <span>
+
+#include "wire/codec.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  using namespace cesrm;
+  const std::span<const std::uint8_t> bytes(data, size);
+
+  net::Packet pkt;
+  std::size_t consumed = 0;
+  if (wire::decode_packet(bytes, &pkt, &consumed)) return 0;  // rejected: ok
+
+  // Accepted: the canonical-encoding invariant must hold.
+  const std::vector<std::uint8_t> re = wire::encode_packet(pkt);
+  if (re.size() != consumed) std::abort();
+  for (std::size_t i = 0; i < consumed; ++i)
+    if (re[i] != data[i]) std::abort();
+  return 0;
+}

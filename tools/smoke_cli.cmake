@@ -8,9 +8,20 @@ foreach(args
     "simulate;--in=${trace_file};--protocol=srm"
     "simulate;--in=${trace_file};--protocol=cesrm;--router-assist"
     "simulate;--in=${trace_file};--protocol=lms"
-    "compare;--in=${trace_file}")
+    "compare;--in=${trace_file}"
+    "wire-gen;--out=${WORK}/smoke.wire;--count=200;--seed=42"
+    "wire-check;--in=${WORK}/smoke.wire"
+    "wire-dump;--in=${WORK}/smoke.wire;--max=3")
   execute_process(COMMAND ${CLI} ${args} RESULT_VARIABLE rc OUTPUT_QUIET)
   if(NOT rc EQUAL 0)
     message(FATAL_ERROR "cesrm_cli ${args} failed with ${rc}")
   endif()
 endforeach()
+
+# Malformed input must be diagnosed (exit 2), never crash.
+file(WRITE ${WORK}/smoke_bad.wire "not a wire frame")
+execute_process(COMMAND ${CLI} wire-check --in=${WORK}/smoke_bad.wire
+  RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(NOT rc EQUAL 2)
+  message(FATAL_ERROR "wire-check on garbage exited ${rc}, want 2")
+endif()
