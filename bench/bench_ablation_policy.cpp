@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
       job.protocol = Protocol::kCesrm;
       job.config = opts.base;
       job.config.cesrm.policy = v.policy;
-      job.config.cesrm.cache_capacity = v.capacity;
+      job.config.cesrm.cache.capacity = v.capacity;
       job.label = v.label;
       jobs.push_back(std::move(job));
     }

@@ -31,6 +31,9 @@ void add_common_flags(util::CliFlags& flags,
   flags.add_string("metrics-out", "",
                    "write merged run metrics (counters/gauges/histograms) "
                    "here as JSON");
+  flags.add_string("cache-policy", "recency",
+                   std::string("CESRM cache replacement policy: ") +
+                       cesrm::cache_policy_names());
   flags.add_string("log-level", "warn",
                    "log threshold: trace|debug|info|warn|error|off");
 }
@@ -63,6 +66,14 @@ bool read_common_flags(const util::CliFlags& flags, BenchOptions* out) {
   out->base.seed = out->seed;
   out->base.network.link_delay = sim::SimTime::millis(out->link_delay_ms);
   out->base.lossy_recovery = flags.get_bool("lossy-recovery");
+  const auto cache_policy =
+      cesrm::try_parse_cache_policy(flags.get_string("cache-policy"));
+  if (!cache_policy) {
+    std::cerr << "bad --cache-policy: '" << flags.get_string("cache-policy")
+              << "' (valid: " << cesrm::cache_policy_names() << ")\n";
+    return false;
+  }
+  out->base.cesrm.cache.policy = *cache_policy;
   util::set_log_threshold(util::parse_log_level(flags.get_string("log-level")));
   const std::string trace_out = flags.get_string("trace-out");
   const std::string metrics_out = flags.get_string("metrics-out");

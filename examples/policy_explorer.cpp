@@ -71,7 +71,7 @@ int main(int argc, char** argv) {
     harness::ExperimentConfig cfg;
     cfg.protocol = Protocol::kCesrm;
     cfg.cesrm.policy = k.policy;
-    cfg.cesrm.cache_capacity = k.capacity;
+    cfg.cesrm.cache.capacity = k.capacity;
     cfg.cesrm.reorder_delay = sim::SimTime::millis(k.reorder_delay_ms);
     const auto run = harness::run_experiment(*gen.loss, links, cfg);
     const auto f5 = harness::figure5(srm, run);

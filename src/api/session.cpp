@@ -100,6 +100,13 @@ const srm::HostStats& MulticastSession::transport_stats() const {
   return agent_->stats();
 }
 
+cesrm::CacheStats MulticastSession::cache_stats() const {
+  if (const auto* agent =
+          dynamic_cast<const cesrm::CesrmAgent*>(agent_.get()))
+    return agent->cache_stats();
+  return {};
+}
+
 void MulticastSession::on_available(net::NodeId source, net::SeqNo seq) {
   if (!config_.ordered_delivery) {
     deliver(source, seq);

@@ -78,6 +78,9 @@ class MulticastSession {
   std::uint64_t delivered_count() const { return delivered_count_; }
   /// Protocol-level statistics of this member.
   const srm::HostStats& transport_stats() const;
+  /// CESRM cache-effectiveness counters summed over this member's
+  /// per-source requestor/replier caches (all zero for SRM members).
+  cesrm::CacheStats cache_stats() const;
 
  private:
   friend class MulticastGroup;

@@ -1,70 +1,53 @@
 #include "cesrm/cache.hpp"
 
-#include <map>
-#include <utility>
-
-#include "util/check.hpp"
-
 namespace cesrm::cesrm {
 
-RecoveryCache::RecoveryCache(std::size_t capacity) : capacity_(capacity) {
-  CESRM_CHECK(capacity_ >= 1);
+namespace {
+CacheConfig recency_config(std::size_t capacity) {
+  CacheConfig config;
+  config.policy = CachePolicyKind::kRecency;
+  config.capacity = capacity;
+  return config;
+}
+}  // namespace
+
+RecoveryCache::RecoveryCache(std::size_t capacity)
+    : RecoveryCache(recency_config(capacity)) {}
+
+RecoveryCache::RecoveryCache(const CacheConfig& config, net::NodeId owner,
+                             net::NodeId source)
+    : kind_(config.policy),
+      impl_(make_cache_policy(config, owner, source)) {}
+
+bool RecoveryCache::update(const RecoveryTuple& tuple, sim::SimTime now) {
+  return impl_->update(tuple, now);
 }
 
-bool RecoveryCache::update(const RecoveryTuple& tuple) {
-  CESRM_CHECK(tuple.seq >= 0);
-  CESRM_CHECK(tuple.requestor != net::kInvalidNode);
-  CESRM_CHECK(tuple.replier != net::kInvalidNode);
-
-  if (auto it = entries_.find(tuple.seq); it != entries_.end()) {
-    // Already cached: keep the optimal pair for this packet.
-    if (tuple.recovery_delay() < it->second.recovery_delay()) {
-      it->second = tuple;
-      return true;
-    }
-    return false;
-  }
-  if (entries_.size() >= capacity_) {
-    // Full: ignore packets less recent than everything cached; otherwise
-    // evict the least recent packet's tuple.
-    const auto oldest = entries_.begin();
-    if (tuple.seq < oldest->first) return false;
-    entries_.erase(oldest);
-  }
-  entries_.emplace(tuple.seq, tuple);
-  return true;
+std::optional<RecoveryTuple> RecoveryCache::select(ExpeditionPolicy how,
+                                                   net::SeqNo lost_seq,
+                                                   sim::SimTime now) {
+  return impl_->select(how, lost_seq, now);
 }
 
 std::optional<RecoveryTuple> RecoveryCache::most_recent() const {
-  if (entries_.empty()) return std::nullopt;
-  return entries_.rbegin()->second;
+  return impl_->most_recent();
 }
 
 std::optional<RecoveryTuple> RecoveryCache::most_frequent() const {
-  if (entries_.empty()) return std::nullopt;
-  // Count (q, r) pair occurrences; remember the most recent tuple of each.
-  std::map<std::pair<net::NodeId, net::NodeId>,
-           std::pair<std::size_t, const RecoveryTuple*>>
-      counts;
-  for (const auto& [seq, tuple] : entries_) {
-    auto& slot = counts[{tuple.requestor, tuple.replier}];
-    ++slot.first;
-    slot.second = &tuple;  // map iteration is seq-ascending → ends recent
-  }
-  const RecoveryTuple* best = nullptr;
-  std::size_t best_count = 0;
-  net::SeqNo best_seq = -1;
-  for (const auto& [pair, slot] : counts) {
-    const auto& [count, tuple] = slot;
-    if (count > best_count ||
-        (count == best_count && tuple->seq > best_seq)) {
-      best_count = count;
-      best = tuple;
-      best_seq = tuple->seq;
-    }
-  }
-  CESRM_CHECK(best != nullptr);
-  return *best;
+  return impl_->most_frequent();
 }
+
+std::size_t RecoveryCache::size() const { return impl_->size(); }
+
+std::size_t RecoveryCache::capacity() const { return impl_->capacity(); }
+
+std::vector<RecoveryTuple> RecoveryCache::snapshot() const {
+  std::vector<RecoveryTuple> out;
+  out.reserve(impl_->size());
+  impl_->snapshot(&out);
+  return out;
+}
+
+CacheStats RecoveryCache::stats() const { return impl_->stats(); }
 
 }  // namespace cesrm::cesrm

@@ -5,79 +5,79 @@
 // When several pairs recover the same packet the cache keeps only the
 // *optimal* one — the pair minimizing the recovery-delay objective
 // d̂qs + 2·d̂rq (preferring requestors close to the source and repliers
-// that answer fast). Eviction is by packet recency: a full cache drops the
-// tuple of the least recent packet, and replies for packets older than
-// everything cached are ignored.
+// that answer fast).
+//
+// Storage, replacement and lookup are delegated to a pluggable
+// CachePolicy (cache_policy.hpp). The default — and the paper's scheme —
+// is recency: a full cache drops the tuple of the least recent packet,
+// and replies for packets older than everything cached are ignored.
+// RecoveryCache is the stable facade the protocol agent, the fault
+// oracle and the tests talk to; it never exposes policy storage.
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <memory>
 #include <optional>
+#include <vector>
 
+#include "cesrm/cache_policy.hpp"
 #include "net/ids.hpp"
 #include "net/packet.hpp"
 
 namespace cesrm::cesrm {
 
-/// One cached recovery tuple ⟨i, q, d̂qs, r, d̂rq⟩ (+ turning point for the
-/// router-assisted variant of §3.3).
-struct RecoveryTuple {
-  net::SeqNo seq = net::kNoSeq;
-  net::NodeId requestor = net::kInvalidNode;
-  double dist_requestor_source = 0.0;  ///< d̂qs, seconds
-  net::NodeId replier = net::kInvalidNode;
-  double dist_replier_requestor = 0.0;  ///< d̂rq, seconds
-  net::NodeId turning_point = net::kInvalidNode;
-
-  /// The optimality objective of §3.1: d̂qs + 2·d̂rq.
-  double recovery_delay() const {
-    return dist_requestor_source + 2.0 * dist_replier_requestor;
-  }
-
-  static RecoveryTuple from_annotation(net::SeqNo seq,
-                                       const net::RecoveryAnnotation& ann) {
-    RecoveryTuple t;
-    t.seq = seq;
-    t.requestor = ann.requestor;
-    t.dist_requestor_source = ann.dist_requestor_source;
-    t.replier = ann.replier;
-    t.dist_replier_requestor = ann.dist_replier_requestor;
-    t.turning_point = ann.turning_point;
-    return t;
-  }
-};
-
 class RecoveryCache {
  public:
-  /// `capacity` >= 1. The most-recent-loss policy only ever reads the
-  /// newest entry, so capacity 1 suffices for it; larger capacities serve
-  /// the most-frequent policy and the cache-size ablation.
+  /// `capacity` >= 1; runs the default recency policy. The
+  /// most-recent-loss policy only ever reads the newest entry, so
+  /// capacity 1 suffices for it; larger capacities serve the
+  /// most-frequent policy and the cache-size ablation.
   explicit RecoveryCache(std::size_t capacity);
 
+  /// Full policy selection. `owner`/`source` identify whose cache for
+  /// which stream this is — side-info-driven policies (confidence,
+  /// oracle) need them; pass kInvalidNode when unused.
+  explicit RecoveryCache(const CacheConfig& config,
+                         net::NodeId owner = net::kInvalidNode,
+                         net::NodeId source = net::kInvalidNode);
+
   /// §3.1 update on receiving a reply for a packet this host lost:
-  /// keep the optimal tuple per packet; evict by packet recency.
-  /// Returns true if the cache changed.
-  bool update(const RecoveryTuple& tuple);
+  /// keep the optimal tuple per packet; replacement is the policy's.
+  /// Returns true if the cache changed. `now` feeds time-aware policies
+  /// (TTL, LRU); the default suits time-blind callers such as tests.
+  bool update(const RecoveryTuple& tuple,
+              sim::SimTime now = sim::SimTime::zero());
+
+  /// §3.2 selection for a fresh loss of `lost_seq`: applies the
+  /// expedition policy through the cache policy (which may use the lost
+  /// sequence — the oracle does), counts the hit or miss in stats(), and
+  /// lets access-aware policies observe the touch.
+  std::optional<RecoveryTuple> select(ExpeditionPolicy how,
+                                      net::SeqNo lost_seq,
+                                      sim::SimTime now = sim::SimTime::zero());
 
   /// The tuple of the most recent recovered loss; nullopt when empty.
+  /// Read-only: no stats, no access bookkeeping (diagnostics-safe).
   std::optional<RecoveryTuple> most_recent() const;
 
   /// The tuple of the (q, r) pair appearing most frequently among cached
   /// tuples; ties break toward the more recent packet. nullopt when empty.
   std::optional<RecoveryTuple> most_frequent() const;
 
-  std::size_t size() const { return entries_.size(); }
-  std::size_t capacity() const { return capacity_; }
-  bool empty() const { return entries_.empty(); }
+  std::size_t size() const;
+  std::size_t capacity() const;
+  bool empty() const { return size() == 0; }
 
-  /// Entries in packet order (oldest first); for tests and diagnostics.
-  const std::map<net::SeqNo, RecoveryTuple>& entries() const {
-    return entries_;
-  }
+  /// Cached tuples in packet order (oldest first); for tests and
+  /// diagnostics. A copy — policy storage is never exposed.
+  std::vector<RecoveryTuple> snapshot() const;
+
+  CachePolicyKind policy_kind() const { return kind_; }
+  CacheStats stats() const;
 
  private:
-  std::size_t capacity_;
-  std::map<net::SeqNo, RecoveryTuple> entries_;  // keyed by packet seq
+  CachePolicyKind kind_;
+  std::unique_ptr<CachePolicy> impl_;
 };
 
 }  // namespace cesrm::cesrm

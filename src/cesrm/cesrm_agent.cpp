@@ -15,9 +15,29 @@ CesrmAgent::CesrmAgent(sim::Simulator& sim, net::Network& network,
 RecoveryCache& CesrmAgent::mutable_cache(net::NodeId source) {
   auto it = caches_.find(source);
   if (it == caches_.end())
-    it = caches_.emplace(source, RecoveryCache(cesrm_config_.cache_capacity))
+    it = caches_
+             .emplace(source,
+                      RecoveryCache(cesrm_config_.cache, node(), source))
              .first;
   return it->second;
+}
+
+CacheStats CesrmAgent::cache_stats() const {
+  CacheStats total;
+  for (const auto& [source, cache] : caches_) total += cache.stats();
+  return total;
+}
+
+void CesrmAgent::finalize_stats() {
+  SrmAgent::finalize_stats();
+  const CacheStats total = cache_stats();
+  stats_.cache_hits = total.hits;
+  stats_.cache_misses = total.misses;
+  stats_.cache_insertions = total.insertions;
+  stats_.cache_updates = total.updates;
+  stats_.cache_evictions = total.evictions;
+  stats_.cache_expirations = total.expirations;
+  stats_.cache_rejects = total.rejects;
 }
 
 const RecoveryCache& CesrmAgent::cache(net::NodeId source) const {
@@ -35,8 +55,8 @@ void CesrmAgent::on_loss_detected(WantState& want) {
   // Consult the lost packet's per-source cache: if the selected pair names
   // us as the expeditious requestor, arm the expedited request
   // (REORDER-DELAY in the future).
-  const auto pair = select_pair(mutable_cache(want.source),
-                                cesrm_config_.policy);
+  const auto pair = mutable_cache(want.source)
+                        .select(cesrm_config_.policy, want.seq, sim_.now());
   if (auto* rec = sim_.recorder())
     rec->emit(sim_.now(),
               pair ? obs::EventKind::kCacheHit : obs::EventKind::kCacheMiss,
@@ -93,7 +113,7 @@ void CesrmAgent::on_reply_observed(const net::Packet& pkt) {
       pkt.ann.replier == net::kInvalidNode)
     return;
   mutable_cache(pkt.source)
-      .update(RecoveryTuple::from_annotation(pkt.seq, pkt.ann));
+      .update(RecoveryTuple::from_annotation(pkt.seq, pkt.ann), sim_.now());
 }
 
 void CesrmAgent::on_exp_request(const net::Packet& pkt) {

@@ -44,10 +44,12 @@ struct CesrmConfig {
   /// The paper's simulations use 0 (its traces are reorder-free).
   sim::SimTime reorder_delay = sim::SimTime::zero();
   ExpeditionPolicy policy = ExpeditionPolicy::kMostRecent;
-  /// Per-source requestor/replier cache capacity. The evaluated
-  /// most-recent policy needs only 1; larger values feed the most-frequent
-  /// policy and the cache-size ablation.
-  std::size_t cache_capacity = 16;
+  /// Per-source requestor/replier cache: replacement policy, capacity and
+  /// policy-specific knobs (cache_policy.hpp). The default is the paper's
+  /// recency scheme with capacity 16 — the evaluated most-recent policy
+  /// needs only 1; larger values feed the most-frequent policy and the
+  /// cache-size ablation.
+  CacheConfig cache;
   /// §3.3 router-assisted local recovery: expedited replies are unicast to
   /// the cached turning-point router and subcast downstream.
   bool router_assist = false;
@@ -66,6 +68,12 @@ class CesrmAgent : public srm::SrmAgent {
   const RecoveryCache& cache() const { return cache(primary_source()); }
 
   const CesrmConfig& cesrm_config() const { return cesrm_config_; }
+
+  /// Cache-effectiveness counters summed over all per-source caches.
+  CacheStats cache_stats() const;
+
+  /// Base finalization plus folding cache_stats() into HostStats.
+  void finalize_stats() override;
 
  protected:
   void on_loss_detected(WantState& want) override;

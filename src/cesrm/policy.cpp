@@ -1,29 +1,31 @@
 #include "cesrm/policy.hpp"
 
-#include "util/check.hpp"
+#include "util/enum_names.hpp"
 
 namespace cesrm::cesrm {
 
+namespace {
+constexpr util::EnumNames<ExpeditionPolicy, 2> kExpeditionPolicyNames{
+    "expedition policy",
+    {{{ExpeditionPolicy::kMostRecent, "most-recent"},
+      {ExpeditionPolicy::kMostFrequent, "most-frequent"}}}};
+}  // namespace
+
 const char* policy_name(ExpeditionPolicy policy) {
-  switch (policy) {
-    case ExpeditionPolicy::kMostRecent: return "most-recent";
-    case ExpeditionPolicy::kMostFrequent: return "most-frequent";
-  }
-  return "?";
+  return kExpeditionPolicyNames.name(policy);
 }
 
-const char* policy_names() { return "most-recent, most-frequent"; }
+const char* policy_names() {
+  static const std::string joined = kExpeditionPolicyNames.joined_names();
+  return joined.c_str();
+}
 
 std::optional<ExpeditionPolicy> try_parse_policy(const std::string& name) {
-  if (name == "most-recent") return ExpeditionPolicy::kMostRecent;
-  if (name == "most-frequent") return ExpeditionPolicy::kMostFrequent;
-  return std::nullopt;
+  return kExpeditionPolicyNames.try_parse(name);
 }
 
 ExpeditionPolicy parse_policy(const std::string& name) {
-  if (auto policy = try_parse_policy(name)) return *policy;
-  throw util::CheckError("unknown expedition policy '" + name +
-                         "' (valid: " + policy_names() + ")");
+  return kExpeditionPolicyNames.parse(name);
 }
 
 std::optional<RecoveryTuple> select_pair(const RecoveryCache& cache,

@@ -7,6 +7,10 @@
 //
 //  * kMostRecent  — the optimal pair of the most recent recovered loss;
 //  * kMostFrequent — the pair appearing most often in the cache.
+//
+// The ExpeditionPolicy enum itself lives in cache_policy.hpp (the cache
+// policies dispatch on it); this header keeps the spelling helpers and
+// the cache-level selector.
 #pragma once
 
 #include <optional>
@@ -15,11 +19,6 @@
 #include "cesrm/cache.hpp"
 
 namespace cesrm::cesrm {
-
-enum class ExpeditionPolicy {
-  kMostRecent,
-  kMostFrequent,
-};
 
 const char* policy_name(ExpeditionPolicy policy);
 
@@ -34,7 +33,10 @@ std::optional<ExpeditionPolicy> try_parse_policy(const std::string& name);
 /// it and print `error: ...` instead of a stack of CHECK noise).
 ExpeditionPolicy parse_policy(const std::string& name);
 
-/// Applies `policy` to `cache`; nullopt when the cache is empty.
+/// Applies `policy` to `cache`; nullopt when the cache is empty. Purely
+/// read-only — no stats, no access bookkeeping (the fault oracle uses
+/// this on live caches it must not perturb; the agent's selection path
+/// goes through RecoveryCache::select instead).
 std::optional<RecoveryTuple> select_pair(const RecoveryCache& cache,
                                          ExpeditionPolicy policy);
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <functional>
+#include <map>
 #include <optional>
 
 #include "fault/fault_scheduler.hpp"
@@ -78,6 +79,45 @@ double ExperimentResult::mean_normalized_recovery_time() const {
 
 namespace {
 
+/// CacheSideInfo backed by the synthetic trace: the true injected loss
+/// link per (receiver, packet) and the §4.2 inference posterior, both
+/// straight from the link trace representation that also drives loss
+/// injection — so the oracle policy sees exactly the links that drop.
+class LinkTraceSideInfo final : public cesrm::CacheSideInfo {
+ public:
+  LinkTraceSideInfo(const trace::LossTrace& trace,
+                    const infer::LinkTraceRepresentation& links)
+      : trace_(trace), links_(links) {
+    const auto& receivers = trace.receivers();
+    for (std::size_t i = 0; i < receivers.size(); ++i)
+      ridx_[receivers[i]] = i;
+  }
+
+  double confidence(net::NodeId observer, net::NodeId source,
+                    net::SeqNo seq) const override {
+    (void)observer;
+    if (source != trace_.tree().root() || seq < 0 ||
+        seq >= trace_.packet_count())
+      return 1.0;  // streams the trace does not describe: fully trusted
+    return links_.confidence(seq);
+  }
+
+  net::LinkId drop_link(net::NodeId observer, net::NodeId source,
+                        net::SeqNo seq) const override {
+    if (source != trace_.tree().root() || seq < 0 ||
+        seq >= trace_.packet_count())
+      return net::kInvalidLink;
+    const auto it = ridx_.find(observer);
+    if (it == ridx_.end()) return net::kInvalidLink;
+    return links_.link_for(it->second, seq);
+  }
+
+ private:
+  const trace::LossTrace& trace_;
+  const infer::LinkTraceRepresentation& links_;
+  std::map<net::NodeId, std::size_t> ridx_;  // receiver NodeId → index
+};
+
 ExperimentResult run_experiment_impl(
     const trace::LossTrace& loss_trace,
     const infer::LinkTraceRepresentation& links,
@@ -102,13 +142,26 @@ ExperimentResult run_experiment_impl(
   std::vector<net::NodeId> member_nodes{source};
   for (net::NodeId r : tree.receivers()) member_nodes.push_back(r);
 
+  // Side info for the confidence/oracle cache policies. Auto-installed
+  // from the trace when the selected policy wants it and the caller did
+  // not supply its own; declared before the agents so it outlives them.
+  cesrm::CesrmConfig cesrm_cfg = config.cesrm;
+  std::optional<LinkTraceSideInfo> side_info;
+  if (config.protocol == Protocol::kCesrm &&
+      cesrm_cfg.cache.side_info == nullptr &&
+      (cesrm_cfg.cache.policy == cesrm::CachePolicyKind::kConfidence ||
+       cesrm_cfg.cache.policy == cesrm::CachePolicyKind::kOracle)) {
+    side_info.emplace(loss_trace, links);
+    cesrm_cfg.cache.side_info = &*side_info;
+  }
+
   std::vector<std::unique_ptr<srm::SrmAgent>> agents;
   agents.reserve(member_nodes.size());
   for (net::NodeId node : member_nodes) {
     util::Rng agent_rng = rng.fork(static_cast<std::uint64_t>(node) + 1);
     if (config.protocol == Protocol::kCesrm) {
       agents.push_back(std::make_unique<cesrm::CesrmAgent>(
-          sim, network, node, source, config.cesrm, agent_rng));
+          sim, network, node, source, cesrm_cfg, agent_rng));
     } else {
       agents.push_back(std::make_unique<srm::SrmAgent>(
           sim, network, node, source, config.cesrm.srm, agent_rng));
@@ -255,6 +308,29 @@ ExperimentResult run_experiment_impl(
       reg.add("protocol.replies_sent", result.total_replies_sent());
       reg.add("protocol.exp_requests_sent", result.total_exp_requests_sent());
       reg.add("protocol.exp_replies_sent", result.total_exp_replies_sent());
+      // Cache-policy counters. Only for non-default policies: with the
+      // default recency policy every metrics artifact must stay
+      // byte-identical to the pre-laboratory output.
+      if (config.protocol == Protocol::kCesrm &&
+          cesrm_cfg.cache.policy != cesrm::CachePolicyKind::kRecency) {
+        cesrm::CacheStats cache_totals;
+        for (const auto& m : result.members) {
+          cache_totals.hits += m.stats.cache_hits;
+          cache_totals.misses += m.stats.cache_misses;
+          cache_totals.insertions += m.stats.cache_insertions;
+          cache_totals.updates += m.stats.cache_updates;
+          cache_totals.evictions += m.stats.cache_evictions;
+          cache_totals.expirations += m.stats.cache_expirations;
+          cache_totals.rejects += m.stats.cache_rejects;
+        }
+        reg.add("cache.hits", cache_totals.hits);
+        reg.add("cache.misses", cache_totals.misses);
+        reg.add("cache.insertions", cache_totals.insertions);
+        reg.add("cache.updates", cache_totals.updates);
+        reg.add("cache.evictions", cache_totals.evictions);
+        reg.add("cache.expirations", cache_totals.expirations);
+        reg.add("cache.rejects", cache_totals.rejects);
+      }
       util::Histogram& lat =
           reg.histogram("recovery.latency_norm", 0.0, 50.0, 100);
       for (const auto& m : result.members) {

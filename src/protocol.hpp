@@ -8,6 +8,11 @@
 // such switch, shared by the session API and the experiment harness.)
 #pragma once
 
+#include <optional>
+#include <string>
+
+#include "util/enum_names.hpp"
+
 namespace cesrm {
 
 /// Which protocol recovers losses for a member / an experiment.
@@ -16,6 +21,28 @@ enum class Protocol { kSrm, kCesrm };
 /// Human-readable name, as used in tables, reports, and JSON output.
 constexpr const char* protocol_name(Protocol p) {
   return p == Protocol::kSrm ? "SRM" : "CESRM";
+}
+
+namespace detail {
+inline constexpr util::EnumNames<Protocol, 2> kProtocolNames{
+    "protocol", {{{Protocol::kSrm, "srm"}, {Protocol::kCesrm, "cesrm"}}}};
+}  // namespace detail
+
+/// The accepted CLI spellings ("srm", "cesrm"), comma-joined.
+inline const char* protocol_names() {
+  static const std::string joined = detail::kProtocolNames.joined_names();
+  return joined.c_str();
+}
+
+/// Parses "srm" / "cesrm"; nullopt otherwise.
+inline std::optional<Protocol> try_parse_protocol(const std::string& name) {
+  return detail::kProtocolNames.try_parse(name);
+}
+
+/// Parses "srm" / "cesrm"; throws util::CheckError listing the valid
+/// spellings otherwise.
+inline Protocol parse_protocol(const std::string& name) {
+  return detail::kProtocolNames.parse(name);
 }
 
 }  // namespace cesrm

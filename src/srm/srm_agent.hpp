@@ -116,6 +116,17 @@ struct HostStats {
     for (auto c : wire_decode_errors) n += c;
     return n;
   }
+  /// Requestor/replier cache effectiveness (CESRM only; filled by
+  /// CesrmAgent::finalize_stats from the per-source caches). Hits are
+  /// loss detections for which the cache offered a pair; the remaining
+  /// counters mirror cesrm::CacheStats.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_insertions = 0;
+  std::uint64_t cache_updates = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_expirations = 0;
+  std::uint64_t cache_rejects = 0;
   std::vector<RecoveryRecord> recoveries;
 };
 
@@ -222,8 +233,9 @@ class SrmAgent : public net::Agent {
 
   /// Appends a RecoveryRecord (recovered = false) for every loss still
   /// outstanding; call once when the simulation is drained so unrecovered
-  /// losses appear in the statistics.
-  void finalize_stats();
+  /// losses appear in the statistics. Virtual so derived protocols can
+  /// fold their own aggregates (CESRM: cache counters) into HostStats.
+  virtual void finalize_stats();
 
  protected:
   /// Request-side state for a packet this member lost.

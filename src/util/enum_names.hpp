@@ -1,0 +1,84 @@
+// enum_names.hpp — one shared spelling table for CLI-facing enums.
+//
+// Every enum that crosses a command-line flag (expedition policy, cache
+// policy, protocol, ...) wants the same four operations: value → name,
+// the comma-joined list of accepted spellings for --help text, a lenient
+// parse returning nullopt, and a strict parse that throws CheckError with
+// a uniform "unknown <what> '<spelling>' (valid: ...)" message. Declare
+// the table once and get all four:
+//
+//   constexpr util::EnumNames<Color, 2> kColorNames{
+//       "color", {{{Color::kRed, "red"}, {Color::kBlue, "blue"}}}};
+//   kColorNames.name(Color::kRed);   // "red"
+//   kColorNames.parse("mauve");      // throws: unknown color 'mauve'
+//                                    //   (valid: red, blue)
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace cesrm::util {
+
+template <typename E>
+struct EnumSpelling {
+  E value;
+  const char* name;
+};
+
+template <typename E, std::size_t N>
+class EnumNames {
+ public:
+  static_assert(N >= 1, "an enum spelling table cannot be empty");
+
+  constexpr EnumNames(const char* what,
+                      std::array<EnumSpelling<E>, N> spellings)
+      : what_(what), spellings_(spellings) {}
+
+  /// The canonical spelling of `value` ("?" for values not in the table).
+  constexpr const char* name(E value) const {
+    for (const auto& s : spellings_)
+      if (s.value == value) return s.name;
+    return "?";
+  }
+
+  /// All accepted spellings, comma-joined — for errors and --help.
+  std::string joined_names() const {
+    std::string out;
+    for (const auto& s : spellings_) {
+      if (!out.empty()) out += ", ";
+      out += s.name;
+    }
+    return out;
+  }
+
+  /// Parses a spelling; nullopt when `name` matches no table entry.
+  constexpr std::optional<E> try_parse(std::string_view name) const {
+    for (const auto& s : spellings_)
+      if (name == s.name) return s.value;
+    return std::nullopt;
+  }
+
+  /// Parses a spelling; throws util::CheckError listing the valid
+  /// spellings otherwise (CLI front-ends catch it and print `error: ...`).
+  E parse(std::string_view name) const {
+    if (auto value = try_parse(name)) return *value;
+    throw CheckError("unknown " + std::string(what_) + " '" +
+                     std::string(name) + "' (valid: " + joined_names() + ")");
+  }
+
+  constexpr std::size_t size() const { return N; }
+  constexpr const std::array<EnumSpelling<E>, N>& spellings() const {
+    return spellings_;
+  }
+
+ private:
+  const char* what_;  ///< noun used in parse errors, e.g. "cache policy"
+  std::array<EnumSpelling<E>, N> spellings_;
+};
+
+}  // namespace cesrm::util

@@ -189,5 +189,34 @@ TEST(MulticastSession, TransportStatsExposed) {
   EXPECT_GE(group.at(0).transport_stats().data_sent, 2u);
 }
 
+TEST(MulticastSession, CacheStatsExposedPerPolicy) {
+  MulticastGroup group(small_tree());
+  group.set_drop_fn([](const net::Packet& pkt, NodeId, NodeId to) {
+    return pkt.type == net::PacketType::kData && pkt.seq == 0 && to == 3;
+  });
+  SessionConfig lru_cfg;
+  lru_cfg.cesrm.cache.policy = cesrm::CachePolicyKind::kLru;
+  SessionConfig srm_cfg;
+  srm_cfg.protocol = Protocol::kSrm;
+  group.join(0);
+  group.join(3, lru_cfg);
+  group.join(4, srm_cfg);
+  group.join(5);
+  group.simulator().schedule_in(SimTime::seconds(2), [&group] {
+    group.at(0).send();
+  });
+  group.simulator().schedule_in(SimTime::seconds(2) + SimTime::millis(80),
+                                [&group] { group.at(0).send(); });
+  group.run_for(SimTime::seconds(10));
+  // The CESRM member consulted its cache once per detected loss.
+  const auto cache = group.at(3).cache_stats();
+  EXPECT_EQ(cache.hits + cache.misses,
+            group.at(3).transport_stats().losses_detected);
+  EXPECT_GE(cache.hits + cache.misses, 1u);
+  // SRM members have no cache: all counters stay zero.
+  const auto none = group.at(4).cache_stats();
+  EXPECT_EQ(none.hits + none.misses + none.insertions + none.evictions, 0u);
+}
+
 }  // namespace
 }  // namespace cesrm::api

@@ -29,6 +29,20 @@ RecoveryTuple tuple(SeqNo seq, NodeId q, double dqs, NodeId r, double drq) {
   return t;
 }
 
+// snapshot()-based lookups (the cache no longer exposes its storage).
+bool cached(const RecoveryCache& cache, SeqNo seq) {
+  for (const auto& t : cache.snapshot())
+    if (t.seq == seq) return true;
+  return false;
+}
+
+RecoveryTuple at(const RecoveryCache& cache, SeqNo seq) {
+  for (const auto& t : cache.snapshot())
+    if (t.seq == seq) return t;
+  ADD_FAILURE() << "seq " << seq << " not cached";
+  return {};
+}
+
 // ---------------------------------------------------------------- cache ----
 
 TEST(RecoveryCache, InsertAndMostRecent) {
@@ -50,10 +64,10 @@ TEST(RecoveryCache, KeepsOptimalPairPerPacket) {
   cache.update(tuple(5, 3, 0.02, 4, 0.03));  // delay = 0.08
   // Worse pair for the same packet: rejected.
   EXPECT_FALSE(cache.update(tuple(5, 3, 0.02, 0, 0.05)));  // delay = 0.12
-  EXPECT_EQ(cache.entries().at(5).replier, 4);
+  EXPECT_EQ(at(cache, 5).replier, 4);
   // Better pair: replaces.
   EXPECT_TRUE(cache.update(tuple(5, 4, 0.01, 0, 0.01)));  // delay = 0.03
-  EXPECT_EQ(cache.entries().at(5).requestor, 4);
+  EXPECT_EQ(at(cache, 5).requestor, 4);
   EXPECT_EQ(cache.size(), 1u);
 }
 
@@ -67,9 +81,9 @@ TEST(RecoveryCache, EvictsLeastRecentPacketWhenFull) {
   cache.update(tuple(2, 3, 0.1, 0, 0.1));
   EXPECT_TRUE(cache.update(tuple(3, 4, 0.1, 0, 0.1)));
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_EQ(cache.entries().count(1), 0u);
-  EXPECT_EQ(cache.entries().count(2), 1u);
-  EXPECT_EQ(cache.entries().count(3), 1u);
+  EXPECT_FALSE(cached(cache, 1));
+  EXPECT_TRUE(cached(cache, 2));
+  EXPECT_TRUE(cached(cache, 3));
 }
 
 TEST(RecoveryCache, IgnoresPacketsOlderThanEverythingCached) {
@@ -77,7 +91,7 @@ TEST(RecoveryCache, IgnoresPacketsOlderThanEverythingCached) {
   cache.update(tuple(10, 3, 0.1, 0, 0.1));
   cache.update(tuple(11, 3, 0.1, 0, 0.1));
   EXPECT_FALSE(cache.update(tuple(4, 4, 0.1, 0, 0.1)));
-  EXPECT_EQ(cache.entries().count(4), 0u);
+  EXPECT_FALSE(cached(cache, 4));
 }
 
 TEST(RecoveryCache, CapacityOneBehavesLikeMostRecentSlot) {
@@ -134,14 +148,14 @@ TEST(RecoveryCache, EvictionTriggersExactlyAtCapacity) {
   cache.update(tuple(1, 3, 0.1, 0, 0.1));
   cache.update(tuple(2, 3, 0.1, 0, 0.1));
   EXPECT_EQ(cache.size(), 2u);  // below capacity: nothing evicted yet
-  EXPECT_EQ(cache.entries().count(1), 1u);
+  EXPECT_TRUE(cached(cache, 1));
   cache.update(tuple(3, 3, 0.1, 0, 0.1));
   EXPECT_EQ(cache.size(), 3u);  // the insert that *reaches* capacity keeps
-  EXPECT_EQ(cache.entries().count(1), 1u);  // the oldest entry intact
+  EXPECT_TRUE(cached(cache, 1));  // the oldest entry intact
   cache.update(tuple(4, 3, 0.1, 0, 0.1));
   EXPECT_EQ(cache.size(), 3u);  // one past capacity: oldest evicted, and
-  EXPECT_EQ(cache.entries().count(1), 0u);  // size never exceeds capacity
-  EXPECT_EQ(cache.entries().count(2), 1u);
+  EXPECT_FALSE(cached(cache, 1));  // size never exceeds capacity
+  EXPECT_TRUE(cached(cache, 2));
 }
 
 TEST(RecoveryCache, OlderPacketsAcceptedWhileBelowCapacity) {
@@ -150,16 +164,16 @@ TEST(RecoveryCache, OlderPacketsAcceptedWhileBelowCapacity) {
   RecoveryCache cache(3);
   cache.update(tuple(10, 3, 0.1, 0, 0.1));
   EXPECT_TRUE(cache.update(tuple(4, 4, 0.1, 5, 0.1)));
-  EXPECT_EQ(cache.entries().count(4), 1u);
+  EXPECT_TRUE(cached(cache, 4));
   // Once full, a packet older than everything cached is ignored even if
   // its pair would be optimal.
   cache.update(tuple(11, 3, 0.1, 0, 0.1));
   EXPECT_FALSE(cache.update(tuple(2, 6, 0.0, 7, 0.0)));
   EXPECT_EQ(cache.size(), 3u);
-  EXPECT_EQ(cache.entries().count(2), 0u);
+  EXPECT_FALSE(cached(cache, 2));
   // But a reply for a packet *already cached* still improves in place.
   EXPECT_TRUE(cache.update(tuple(4, 6, 0.0, 7, 0.0)));
-  EXPECT_EQ(cache.entries().at(4).requestor, 6);
+  EXPECT_EQ(at(cache, 4).requestor, 6);
 }
 
 // --------------------------------------------------------------- policy ----

@@ -75,7 +75,7 @@ TEST(Integration, ScaledTrace13HighLossRate) {
 TEST(Integration, MostFrequentPolicyAlsoWorks) {
   ExperimentConfig cfg;
   cfg.cesrm.policy = cesrm::ExpeditionPolicy::kMostFrequent;
-  cfg.cesrm.cache_capacity = 16;
+  cfg.cesrm.cache.capacity = 16;
   PipelineRun run(scaled_spec(4, 5000), cfg);
   EXPECT_EQ(run.cesrm.total_unrecovered(), 0u);
   EXPECT_GT(run.cesrm.total_exp_replies_sent(), 0u);

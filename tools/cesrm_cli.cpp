@@ -17,6 +17,7 @@
 //
 //   simulate  --in=FILE [--protocol=srm|cesrm] [--router-assist]
 //             [--policy=most-recent|most-frequent] [--adaptive]
+//             [--cache-policy=recency|lru|lfu|ttl|confidence|sharded|oracle]
 //       Replay the trace under one protocol and print the recovery
 //       summary.
 //
@@ -185,6 +186,8 @@ harness::ExperimentConfig config_from_flags(const util::CliFlags& flags) {
   harness::ExperimentConfig cfg;
   cfg.cesrm.router_assist = flags.get_bool("router-assist");
   cfg.cesrm.policy = ::cesrm::cesrm::parse_policy(flags.get_string("policy"));
+  cfg.cesrm.cache.policy =
+      ::cesrm::cesrm::parse_cache_policy(flags.get_string("cache-policy"));
   cfg.cesrm.srm.adaptive_timers = flags.get_bool("adaptive");
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   cfg.observe.trace = !flags.get_string("trace-out").empty();
@@ -334,13 +337,11 @@ int cmd_simulate(const util::CliFlags& flags) {
     return 0;
   }
   Protocol proto;
-  if (protocol == "srm") {
-    proto = Protocol::kSrm;
-  } else if (protocol == "cesrm") {
-    proto = Protocol::kCesrm;
+  if (const auto parsed = try_parse_protocol(protocol)) {
+    proto = *parsed;
   } else {
     std::cerr << "simulate: unknown --protocol '" << protocol
-              << "' (valid: srm, cesrm, lms)\n";
+              << "' (valid: " << protocol_names() << ", lms)\n";
     return 1;
   }
 
@@ -570,6 +571,9 @@ int main(int argc, char** argv) {
   flags.add_string("protocol", "cesrm", "protocol for 'simulate': srm | cesrm | lms");
   flags.add_string("policy", "most-recent",
                    "expedition policy: most-recent | most-frequent");
+  flags.add_string("cache-policy", "recency",
+                   std::string("cache replacement policy: ") +
+                       ::cesrm::cesrm::cache_policy_names());
   flags.add_bool("router-assist", false, "enable §3.3 router assistance");
   flags.add_bool("adaptive", false, "enable adaptive SRM timers");
   flags.add_int("seed", 1, "experiment seed");
