@@ -34,6 +34,9 @@ void add_common_flags(util::CliFlags& flags,
   flags.add_string("cache-policy", "recency",
                    std::string("CESRM cache replacement policy: ") +
                        cesrm::cache_policy_names());
+  flags.add_string("durable", "off",
+                   std::string("durable recovery state: ") +
+                       durable::durable_mode_names());
   flags.add_string("log-level", "warn",
                    "log threshold: trace|debug|info|warn|error|off");
 }
@@ -74,6 +77,14 @@ bool read_common_flags(const util::CliFlags& flags, BenchOptions* out) {
     return false;
   }
   out->base.cesrm.cache.policy = *cache_policy;
+  const auto durable_mode =
+      durable::try_parse_durable_mode(flags.get_string("durable"));
+  if (!durable_mode) {
+    std::cerr << "bad --durable: '" << flags.get_string("durable")
+              << "' (valid: " << durable::durable_mode_names() << ")\n";
+    return false;
+  }
+  out->base.durable.mode = *durable_mode;
   util::set_log_threshold(util::parse_log_level(flags.get_string("log-level")));
   const std::string trace_out = flags.get_string("trace-out");
   const std::string metrics_out = flags.get_string("metrics-out");

@@ -148,6 +148,18 @@ MulticastSession& MulticastGroup::join(net::NodeId node,
                                        SessionConfig config) {
   CESRM_CHECK_MSG(members_.count(node) == 0,
                   "node " << node << " already joined");
+  // Fail fast with a friendly message instead of silently degrading: api
+  // sessions have no loss ground truth to back a CacheSideInfo, so the
+  // policies that need one cannot do better than recency here.
+  CESRM_CHECK_MSG(
+      config.protocol != Protocol::kCesrm ||
+          !cesrm::cache_policy_needs_side_info(config.cesrm.cache.policy) ||
+          config.cesrm.cache.side_info != nullptr,
+      "cache policy '"
+          << cesrm::cache_policy_name(config.cesrm.cache.policy)
+          << "' needs cache side info, which api sessions do not provide"
+          << " (policies needing side info: "
+          << cesrm::cache_policies_needing_side_info() << ")");
   auto session = std::unique_ptr<MulticastSession>(
       new MulticastSession(*this, node, config));
   auto [it, inserted] = members_.emplace(node, std::move(session));

@@ -636,6 +636,13 @@ CachePolicyKind parse_cache_policy(const std::string& name) {
   return kCachePolicyNames.parse(name);
 }
 
+bool cache_policy_needs_side_info(CachePolicyKind kind) {
+  return kind == CachePolicyKind::kConfidence ||
+         kind == CachePolicyKind::kOracle;
+}
+
+const char* cache_policies_needing_side_info() { return "confidence, oracle"; }
+
 bool CachePolicy::update(const RecoveryTuple& tuple, sim::SimTime now) {
   CESRM_CHECK(tuple.seq >= 0);
   CESRM_CHECK(tuple.requestor != net::kInvalidNode);

@@ -104,6 +104,15 @@ std::optional<CachePolicyKind> try_parse_cache_policy(
 /// Throws util::CheckError listing the valid spellings on bad input.
 CachePolicyKind parse_cache_policy(const std::string& name);
 
+/// True for policies that are pointless without CacheSideInfo (confidence,
+/// oracle): they degrade to recency-like behavior when none is installed.
+/// Front ends use this to fail fast with a friendly message in contexts
+/// that cannot provide side info, instead of silently degrading (or
+/// crashing deep in a factory).
+bool cache_policy_needs_side_info(CachePolicyKind kind);
+/// The side-info-requiring policy names, comma-joined — for messages.
+const char* cache_policies_needing_side_info();
+
 /// Out-of-band knowledge for the confidence and oracle policies. The
 /// harness backs this with the synthetic trace's link representation
 /// (infer::LinkTraceRepresentation); defaults make both policies degrade

@@ -1,6 +1,7 @@
 #include "cesrm/cesrm_agent.hpp"
 
 #include "obs/trace_recorder.hpp"
+#include "srm/durable_sink.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 
@@ -23,9 +24,59 @@ RecoveryCache& CesrmAgent::mutable_cache(net::NodeId source) {
 }
 
 CacheStats CesrmAgent::cache_stats() const {
-  CacheStats total;
+  CacheStats total = retired_cache_stats_;
   for (const auto& [source, cache] : caches_) total += cache.stats();
   return total;
+}
+
+void CesrmAgent::clear_volatile_recovery_state() {
+  SrmAgent::clear_volatile_recovery_state();
+  for (const auto& [source, cache] : caches_)
+    retired_cache_stats_ += cache.stats();
+  caches_.clear();
+  lost_ever_.clear();
+}
+
+void CesrmAgent::restore_cache_tuple(net::NodeId source,
+                                     const RecoveryTuple& tuple) {
+  CESRM_CHECK_MSG(failed(), "restore_cache_tuple() outside crash recovery");
+  if (originates(source)) return;
+  // Never trust journal bytes: CachePolicy::update CHECKs these, so a
+  // tuple a damaged journal smuggled past the CRC must be dropped here.
+  if (tuple.seq < 0 || tuple.requestor == net::kInvalidNode ||
+      tuple.replier == net::kInvalidNode)
+    return;
+  // A journal written against a different group layout (or by a buggy
+  // writer) can name nodes this tree does not have; distance queries and
+  // unicasts against them would abort the run, so drop such tuples —
+  // degrading toward a cold restart, as everywhere else in replay.
+  const auto nodes = static_cast<net::NodeId>(net_.tree().size());
+  if (source < 0 || source >= nodes || tuple.replier < 0 ||
+      tuple.replier >= nodes)
+    return;
+  if (tuple.replier == node()) return;  // we cannot serve our own repairs
+  lost_ever_[source].insert(tuple.seq);
+  // Re-anchor the requestor to the restarting member. The durable value of
+  // a cached tuple is ⟨replier, d̂rq⟩ — who can serve repairs, and how
+  // close they are. The journaled requestor is whoever won the request
+  // race before the crash; post-restart catch-up losses are private to
+  // this member, so waiting for that member (which is not missing the
+  // packets) to expedite would forfeit the warm cache entirely. With the
+  // requestor re-anchored, on_loss_detected's requestor==self condition
+  // holds and catch-up steers expedited requests at the cached replier.
+  RecoveryTuple anchored = tuple;
+  anchored.requestor = node();
+  anchored.dist_requestor_source = distance_to(source);
+  // The journaled d̂rq was measured between the *original* pair; what the
+  // expedited send path needs now is the replier's distance to us, which
+  // the retained session state estimates directly. Admit the tuple only
+  // when that replier is no farther than the source: a replier beyond the
+  // source cannot beat the plain SRM race toward it, so expediting there
+  // would add traffic and reorder-delay for a slower repair.
+  anchored.dist_replier_requestor = distance_to(tuple.replier);
+  if (anchored.dist_replier_requestor > anchored.dist_requestor_source)
+    return;
+  mutable_cache(source).update(anchored, sim_.now());
 }
 
 void CesrmAgent::finalize_stats() {
@@ -112,8 +163,12 @@ void CesrmAgent::on_reply_observed(const net::Packet& pkt) {
   if (pkt.ann.requestor == net::kInvalidNode ||
       pkt.ann.replier == net::kInvalidNode)
     return;
-  mutable_cache(pkt.source)
-      .update(RecoveryTuple::from_annotation(pkt.seq, pkt.ann), sim_.now());
+  const bool changed =
+      mutable_cache(pkt.source)
+          .update(RecoveryTuple::from_annotation(pkt.seq, pkt.ann),
+                  sim_.now());
+  if (changed && durable_sink_)
+    durable_sink_->on_cache_tuple(pkt.source, pkt.seq, pkt.ann);
 }
 
 void CesrmAgent::on_exp_request(const net::Packet& pkt) {
@@ -127,6 +182,16 @@ void CesrmAgent::on_exp_request(const net::Packet& pkt) {
   ReplyState& rs = reply_state(pkt.source, pkt.seq);
   if (rs.scheduled || sim_.now() < rs.abstinence_until)
     return;  // a reply is already scheduled or pending (§3.2)
+
+  if (note_already_served(pkt.source, pkt.seq, pkt.ann.requestor,
+                          /*expedited=*/true)) {
+    // Served before the crash: suppress the duplicate, observe abstinence
+    // as if the expedited reply went out.
+    rs.abstinence_until =
+        sim_.now() + sim::SimTime::from_seconds(
+                         config_.d3 * distance_to(pkt.ann.requestor));
+    return;
+  }
 
   net::RecoveryAnnotation ann;
   ann.requestor = pkt.ann.requestor;
@@ -152,6 +217,9 @@ void CesrmAgent::on_exp_request(const net::Packet& pkt) {
   } else {
     net_.multicast(node(), reply);
   }
+  if (durable_sink_)
+    durable_sink_->on_reply_served(pkt.source, pkt.seq, pkt.ann.requestor,
+                                   /*expedited=*/true);
   // Sending a reply starts the reply abstinence period.
   rs.abstinence_until =
       sim_.now() + sim::SimTime::from_seconds(

@@ -75,6 +75,17 @@ class CesrmAgent : public srm::SrmAgent {
   /// Base finalization plus folding cache_stats() into HostStats.
   void finalize_stats() override;
 
+  /// Base clearing plus dropping the per-source caches and the lost-ever
+  /// ledger (their effectiveness counters are folded into a retired
+  /// accumulator first, so cache_stats() keeps accounting across a crash).
+  void clear_volatile_recovery_state() override;
+
+  /// Journal replay (while still failed, before recover()): re-admits a
+  /// pre-crash cache tuple into `source`'s requestor/replier cache and
+  /// re-marks its packet in the lost-ever ledger (§3.1: only packets this
+  /// host lost are cacheable — a journaled tuple proves it did).
+  void restore_cache_tuple(net::NodeId source, const RecoveryTuple& tuple);
+
  protected:
   void on_loss_detected(WantState& want) override;
   void on_reply_observed(const net::Packet& pkt) override;
@@ -94,6 +105,9 @@ class CesrmAgent : public srm::SrmAgent {
   /// packets".
   mutable std::map<net::NodeId, RecoveryCache> caches_;
   std::map<net::NodeId, std::unordered_set<net::SeqNo>> lost_ever_;
+  /// Counters of caches dropped by crash-clearing, so cache_stats() stays
+  /// a whole-lifetime aggregate across restarts.
+  CacheStats retired_cache_stats_;
 };
 
 }  // namespace cesrm::cesrm

@@ -4,6 +4,7 @@
 
 #include "obs/trace_recorder.hpp"
 #include "util/check.hpp"
+#include "util/logging.hpp"
 
 namespace cesrm::fault {
 
@@ -21,6 +22,13 @@ void FaultScheduler::add_member(net::NodeId node, srm::SrmAgent* agent) {
   CESRM_CHECK(agent != nullptr);
   const bool inserted = members_.emplace(node, agent).second;
   CESRM_CHECK_MSG(inserted, "member registered twice");
+}
+
+void FaultScheduler::set_crash_hooks(CrashHook on_crash,
+                                     CrashHook before_recover) {
+  CESRM_CHECK_MSG(!installed_, "set_crash_hooks after install");
+  on_crash_ = std::move(on_crash);
+  before_recover_ = std::move(before_recover);
 }
 
 void FaultScheduler::install(net::DropFn base_drop) {
@@ -43,21 +51,33 @@ void FaultScheduler::install(net::DropFn base_drop) {
                   net::kInvalidNode, net::kNoSeq, net::kInvalidNode,
                   obs::kFaultCrash);
       agent->fail();
+      if (on_crash_) on_crash_(node, *agent);
     });
     if (crash.recovers()) {
       // Draw the post-recovery session offset now so replay does not
       // depend on how many control packets the chains consumed meanwhile.
       const sim::SimTime offset = sim::SimTime::millis(
           rng_.uniform_int(0, 999));
-      sim_.schedule_at(crash.recover_at,
-                       [this, agent, offset, node = crash.node] {
-                         if (auto* rec = sim_.recorder())
-                           rec->emit(sim_.now(),
-                                     obs::EventKind::kFaultApplied, node,
-                                     net::kInvalidNode, net::kNoSeq,
-                                     net::kInvalidNode, obs::kFaultRecover);
-                         agent->recover(offset);
-                       });
+      sim_.schedule_at(
+          crash.recover_at, [this, agent, offset, node = crash.node] {
+            if (!agent->failed()) {
+              // A recover event can race a crash that never applied (or
+              // was undone by an overlapping clause's earlier recovery —
+              // plans edited by hand do this). Recovering a live member
+              // would abort deep in the agent; log and skip instead. The
+              // kFaultApplied emit is skipped too: nothing was applied.
+              CESRM_LOG_WARN << "fault plan: recover at "
+                             << sim_.now().to_seconds() << "s targets node "
+                             << node << " which is already live; skipping";
+              return;
+            }
+            if (auto* rec = sim_.recorder())
+              rec->emit(sim_.now(), obs::EventKind::kFaultApplied, node,
+                        net::kInvalidNode, net::kNoSeq, net::kInvalidNode,
+                        obs::kFaultRecover);
+            if (before_recover_) before_recover_(node, *agent);
+            agent->recover(offset);
+          });
     }
   }
 

@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -34,6 +35,18 @@ class FaultScheduler {
   /// Registers the protocol agent attached at `node` (call for the source
   /// and every receiver); must precede install().
   void add_member(net::NodeId node, srm::SrmAgent* agent);
+
+  /// Observer of a crash/recover event's member, invoked around the
+  /// agent's own fail()/recover() transition.
+  using CrashHook = std::function<void(net::NodeId, srm::SrmAgent&)>;
+
+  /// Installs durable-state hooks (see src/durable): `on_crash` runs right
+  /// after a member's fail() (drop the write-behind window, clear volatile
+  /// state), `before_recover` right before its recover() (journal replay
+  /// into the still-failed agent). Either may be null. The scheduler never
+  /// depends on the durable library — it only offers the seams. Must
+  /// precede install().
+  void set_crash_hooks(CrashHook on_crash, CrashHook before_recover);
 
   /// Resolves the plan against the network's tree, schedules every fault
   /// event, and installs the drop/perturb hooks. `base_drop` is the
@@ -64,6 +77,8 @@ class FaultScheduler {
   FaultPlan plan_;
   util::Rng rng_;
   std::map<net::NodeId, srm::SrmAgent*> members_;
+  CrashHook on_crash_;
+  CrashHook before_recover_;
   std::vector<ResolvedCrash> crashes_;
   std::vector<ResolvedOutage> outages_;
   std::vector<trace::GilbertElliott> control_chains_;  ///< one per burst

@@ -61,6 +61,18 @@ void InvariantOracle::finish(net::SeqNo packets_sent,
                                << " timer callbacks fired on crashed node "
                                << nodes_[i]);
 
+  // Exactly-once retransmissions: no member re-executed a repair its
+  // durable reply-dedup ledger proves it already served before a crash
+  // (non-zero only when the dedup check is disabled — the seeded
+  // true-positive the durable test suite drives).
+  for (std::size_t i = 0; i < agents_.size(); ++i)
+    CESRM_CHECK_MSG(
+        agents_[i]->stats().duplicate_retransmissions_served == 0,
+        "exactly-once: node "
+            << nodes_[i] << " re-executed "
+            << agents_[i]->stats().duplicate_retransmissions_served
+            << " retransmissions it had already served before its crash");
+
   check_stalls();
 
   // Eventual delivery: every live member holds every packet some live

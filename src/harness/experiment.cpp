@@ -168,6 +168,15 @@ ExperimentResult run_experiment_impl(
     }
   }
 
+  // --- durable recovery state --------------------------------------------
+  // Mode off constructs nothing: the agents keep their null sinks and the
+  // run is byte-identical to a build without the durable subsystem.
+  std::optional<durable::Manager> durable_mgr;
+  if (config.durable.mode != durable::DurableMode::kOff) {
+    durable_mgr.emplace(config.durable);
+    for (auto& agent : agents) durable_mgr->attach(*agent);
+  }
+
   // --- fault injection ---------------------------------------------------
   // A non-empty plan turns crashes/outages/bursts into simulator events
   // and arms the invariant oracle; an empty plan leaves the run untouched.
@@ -179,6 +188,14 @@ ExperimentResult run_experiment_impl(
     for (std::size_t i = 0; i < agents.size(); ++i) {
       faults->add_member(member_nodes[i], agents[i].get());
       oracle->add_member(member_nodes[i], agents[i].get());
+    }
+    if (durable_mgr) {
+      durable::Manager* mgr = &*durable_mgr;
+      faults->set_crash_hooks(
+          [mgr](net::NodeId, srm::SrmAgent& agent) { mgr->on_crash(agent); },
+          [mgr](net::NodeId, srm::SrmAgent& agent) {
+            mgr->before_recover(agent);
+          });
     }
   }
 
@@ -330,6 +347,27 @@ ExperimentResult run_experiment_impl(
         reg.add("cache.evictions", cache_totals.evictions);
         reg.add("cache.expirations", cache_totals.expirations);
         reg.add("cache.rejects", cache_totals.rejects);
+      }
+      // Durable-store counters. Only when durability is on: with the
+      // default (off) every metrics artifact stays byte-identical to the
+      // pre-durability output.
+      if (durable_mgr) {
+        const durable::DurableTotals t = durable_mgr->totals();
+        reg.add("durable.records_appended", t.records_appended);
+        reg.add("durable.bytes_appended", t.bytes_appended);
+        reg.add("durable.records_dropped_at_crash",
+                t.records_dropped_at_crash);
+        reg.add("durable.records_restored", t.records_restored);
+        reg.add("durable.records_skipped_invalid", t.records_skipped_invalid);
+        reg.add("durable.truncated_scans", t.truncated_scans);
+        std::uint64_t suppressed = 0;
+        std::uint64_t dup_served = 0;
+        for (const auto& m : result.members) {
+          suppressed += m.stats.retransmissions_suppressed;
+          dup_served += m.stats.duplicate_retransmissions_served;
+        }
+        reg.add("durable.retransmissions_suppressed", suppressed);
+        reg.add("durable.duplicate_retransmissions_served", dup_served);
       }
       util::Histogram& lat =
           reg.histogram("recovery.latency_norm", 0.0, 50.0, 100);

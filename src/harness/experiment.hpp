@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "cesrm/cesrm_agent.hpp"
+#include "durable/store.hpp"
 #include "fault/fault_plan.hpp"
 #include "infer/link_trace.hpp"
 #include "net/network.hpp"
@@ -56,6 +57,12 @@ struct ExperimentConfig {
   /// Extra time budget after the nominal horizon for faulted runs; the
   /// plan's own horizon_slack() is always added on top of this.
   sim::SimTime fault_settle = sim::SimTime::zero();
+  /// Durable recovery state (src/durable): off (default; behaviour and
+  /// artifacts byte-identical to a build without the subsystem), cold
+  /// (crashes clear volatile recovery state, nothing journaled), or warm
+  /// (write-behind journal + replay at recover for a warm rejoin with
+  /// exactly-once retransmissions).
+  durable::DurableConfig durable;
   /// Observability switches (all off by default — the protocol hooks then
   /// compile down to a null-pointer check and the run's behaviour and
   /// output are identical to a build without the obs subsystem).

@@ -23,6 +23,8 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kPacketDropped: return "packet_dropped";
     case EventKind::kFaultApplied: return "fault_applied";
     case EventKind::kDecodeError: return "decode_error";
+    case EventKind::kRetransmissionSuppressed:
+      return "retransmission_suppressed";
     case EventKind::kCount: break;
   }
   return "?";

@@ -50,6 +50,9 @@ enum class EventKind : std::uint8_t {
   kFaultApplied,         ///< detail: FaultDetail; node: member or link child
   kDecodeError,          ///< malformed wire frame dropped at ingress;
                          ///< detail: wire::DecodeErrorKind
+  kRetransmissionSuppressed,  ///< reply-dedup ledger hit: repair already
+                              ///< served before the crash; peer: requestor,
+                              ///< detail: 1 = expedited path
 
   kCount,
 };

@@ -1,0 +1,36 @@
+// durable_sink.hpp — the agent-side interface to durable recovery state.
+//
+// SrmAgent/CesrmAgent publish recovery-state changes through this
+// interface as they happen (write-behind: the sink buffers and flushes on
+// its own schedule); the durable store (src/durable) implements it and
+// journals each event as a CRC-framed wire record. The interface lives at
+// the srm layer, expressed purely in net types, so the protocol agents
+// never depend on the durable library — an agent with no sink installed
+// (the default) behaves bit-identically to one that predates durability.
+#pragma once
+
+#include "net/ids.hpp"
+#include "net/packet.hpp"
+
+namespace cesrm::srm {
+
+class DurableSink {
+ public:
+  virtual ~DurableSink() = default;
+
+  /// The sequence horizon of `source`'s stream advanced to `highest`.
+  virtual void on_horizon(net::NodeId source, net::SeqNo highest) = 0;
+
+  /// This member served a retransmission of (`source`, `seq`) to
+  /// `requestor` (`expedited` distinguishes the CESRM unicast-request
+  /// path from the multicast SRM reply path).
+  virtual void on_reply_served(net::NodeId source, net::SeqNo seq,
+                               net::NodeId requestor, bool expedited) = 0;
+
+  /// The requestor/replier cache for `source`'s stream admitted or
+  /// improved the tuple for `seq` carried by annotation `ann`.
+  virtual void on_cache_tuple(net::NodeId source, net::SeqNo seq,
+                              const net::RecoveryAnnotation& ann) = 0;
+};
+
+}  // namespace cesrm::srm

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/trace_recorder.hpp"
+#include "srm/durable_sink.hpp"
 #include "util/check.hpp"
 #include "util/logging.hpp"
 #include "wire/codec.hpp"
@@ -90,6 +91,67 @@ void SrmAgent::recover(sim::SimTime session_offset) {
   // horizon advance so note_new_sequence paces that bulk gap too.
   resync_pending_ = true;
   if (!catch_up_queue_.empty()) release_catch_up_batch();
+}
+
+void SrmAgent::clear_volatile_recovery_state() {
+  restored_served_.clear();
+  // Cold-restart horizon semantics: a journal-less process knows on
+  // restart only what its stable reception state proves — the highest
+  // packet it actually holds. Everything above that is volatile protocol
+  // knowledge, re-learned from session adverts after rejoining (which is
+  // exactly the latency a warm restore avoids).
+  for (auto& [source, s] : streams_) {
+    if (originates(source)) continue;
+    net::SeqNo held = net::kNoSeq;
+    for (std::size_t i = s.received.size(); i-- > 0;) {
+      if (s.received[i]) {
+        held = static_cast<net::SeqNo>(i);
+        break;
+      }
+    }
+    s.highest_seq = held;
+    s.received.resize(held < 0 ? 0 : static_cast<std::size_t>(held) + 1);
+  }
+}
+
+void SrmAgent::restore_horizon(net::NodeId source, net::SeqNo highest) {
+  CESRM_CHECK_MSG(failed_, "restore_horizon() outside crash recovery");
+  if (originates(source) || highest < 0) return;
+  // A stream of a node outside this tree (journal from another group
+  // layout) would make catch-up issue requests whose distance queries
+  // abort the run; drop the record instead of trusting it.
+  if (source < 0 || source >= static_cast<net::NodeId>(net_.tree().size()))
+    return;
+  StreamState& s = stream(source);
+  s.highest_seq = std::max(s.highest_seq, highest);
+}
+
+void SrmAgent::restore_served(net::NodeId source, net::SeqNo seq,
+                              net::NodeId requestor) {
+  CESRM_CHECK_MSG(failed_, "restore_served() outside crash recovery");
+  restored_served_.emplace(source, seq, requestor);
+}
+
+bool SrmAgent::note_already_served(net::NodeId source, net::SeqNo seq,
+                                   net::NodeId requestor, bool expedited) {
+  if (restored_served_.empty()) return false;
+  const auto it = restored_served_.find({source, seq, requestor});
+  if (it == restored_served_.end()) return false;
+  if (!reply_dedup_) {
+    // Diagnostic mode: serve the duplicate but count the violation — the
+    // fault oracle's duplicate-retransmission detector fires on this.
+    ++stats_.duplicate_retransmissions_served;
+    return false;
+  }
+  // Exactly-once with liveness: consume the entry so that if the repair
+  // truly never arrived, the requestor's own backed-off retry finds the
+  // ledger empty and is served normally.
+  restored_served_.erase(it);
+  ++stats_.retransmissions_suppressed;
+  if (auto* rec = sim_.recorder())
+    rec->emit(sim_.now(), obs::EventKind::kRetransmissionSuppressed, self_,
+              source, seq, requestor, expedited ? 1 : 0);
+  return true;
 }
 
 void SrmAgent::release_catch_up_batch() {
@@ -266,6 +328,7 @@ void SrmAgent::note_new_sequence(net::NodeId source, net::SeqNo seq) {
   if (seq <= s.highest_seq) return;
   const net::SeqNo first = s.highest_seq + 1;
   s.highest_seq = seq;
+  if (durable_sink_) durable_sink_->on_horizon(source, seq);
   if (resync_pending_) {
     // First advance of the sequence horizon after recover(): the gap spans
     // everything missed while down, potentially hundreds of packets. Route
@@ -525,6 +588,16 @@ void SrmAgent::reply_timer_fired(net::NodeId source, net::SeqNo seq) {
   rs.scheduled = false;
   CESRM_CHECK(has_packet(source, seq));
 
+  if (note_already_served(source, seq, rs.requestor, /*expedited=*/false)) {
+    // Already served before the crash: suppress the duplicate but observe
+    // abstinence as if it went out, so a burst of queued requests for the
+    // same repair cannot stampede this host.
+    rs.abstinence_until =
+        sim_.now() + sim::SimTime::from_seconds(config_.d3 *
+                                                distance_to(rs.requestor));
+    return;
+  }
+
   net::RecoveryAnnotation ann;
   ann.requestor = rs.requestor;
   ann.dist_requestor_source = rs.requestor_dist_to_src;
@@ -543,6 +616,9 @@ void SrmAgent::reply_timer_fired(net::NodeId source, net::SeqNo seq) {
     rep_ctrl_->observe(0.0, delay_norm);
   }
   net_.multicast(self_, net::make_reply_packet(self_, source, seq, ann));
+  if (durable_sink_)
+    durable_sink_->on_reply_served(source, seq, rs.requestor,
+                                   /*expedited=*/false);
   rs.abstinence_until =
       sim_.now() + sim::SimTime::from_seconds(config_.d3 *
                                               distance_to(rs.requestor));

@@ -44,7 +44,9 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <set>
 #include <span>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
@@ -59,6 +61,8 @@
 #include "wire/layout.hpp"
 
 namespace cesrm::srm {
+
+class DurableSink;
 
 /// Outcome of one loss-recovery episode at one receiver.
 struct RecoveryRecord {
@@ -127,6 +131,15 @@ struct HostStats {
   std::uint64_t cache_evictions = 0;
   std::uint64_t cache_expirations = 0;
   std::uint64_t cache_rejects = 0;
+  /// Retransmissions suppressed by the reply-dedup ledger: this member had
+  /// already served the identical ⟨source, seq, requestor⟩ repair before
+  /// its crash, and the durable store restored that fact (exactly-once
+  /// reply semantics across a crash-restart).
+  std::uint64_t retransmissions_suppressed = 0;
+  /// Retransmissions re-executed *despite* a matching ledger entry —
+  /// non-zero only with reply dedup disabled (the diagnostic mode the
+  /// fault oracle's duplicate-retransmission detector flags).
+  std::uint64_t duplicate_retransmissions_served = 0;
   std::vector<RecoveryRecord> recoveries;
 };
 
@@ -164,6 +177,36 @@ class SrmAgent : public net::Agent {
   /// missed while down. The session restarts at now + session_offset.
   void recover(sim::SimTime session_offset = sim::SimTime::zero());
   bool failed() const { return failed_; }
+
+  // --- durable recovery state (src/durable; see srm/durable_sink.hpp) ---
+  /// Installs the write-behind sink that journals recovery-state changes
+  /// (horizon advances, served replies, cache admissions). Null (the
+  /// default) makes every hook a no-op — behavior is then bit-identical
+  /// to an agent without durability. Non-owning; must outlive the agent.
+  void set_durable_sink(DurableSink* sink) { durable_sink_ = sink; }
+  /// Enables/disables the reply-dedup check at the retransmission send
+  /// paths. On (the default once a ledger is restored), a repair already
+  /// served before the crash is suppressed exactly once; off, it is
+  /// re-served and counted in duplicate_retransmissions_served.
+  void set_reply_dedup(bool on) { reply_dedup_ = on; }
+  /// Discards the volatile recovery state a cold (journal-less) restart
+  /// loses: the reply-dedup ledger and every sequence horizon beyond what
+  /// the member's stable reception state proves (the highest packet it
+  /// actually holds — application data survives a crash, protocol state
+  /// does not). Called by the durable manager at crash time; a warm
+  /// restart then re-learns the rest from the journal via the restore_*
+  /// calls below. Virtual so CESRM can also drop its caches.
+  virtual void clear_volatile_recovery_state();
+  /// Journal replay (while still failed, before recover()): raises
+  /// `source`'s sequence horizon to at least `highest`. Idempotent;
+  /// max-merges, so duplicated/reordered journal records are harmless.
+  void restore_horizon(net::NodeId source, net::SeqNo highest);
+  /// Journal replay: records that this member already served the
+  /// ⟨source, seq, requestor⟩ retransmission before its crash.
+  void restore_served(net::NodeId source, net::SeqNo seq,
+                      net::NodeId requestor);
+  /// Restored-but-not-yet-consumed reply-dedup ledger entries.
+  std::size_t served_ledger_size() const { return restored_served_.size(); }
 
   // net::Agent
   void on_packet(const net::Packet& pkt) override;
@@ -314,6 +357,14 @@ class SrmAgent : public net::Agent {
 
   ReplyState& reply_state(net::NodeId source, net::SeqNo seq);
 
+  /// Consults the restored reply-dedup ledger before a retransmission of
+  /// (`source`, `seq`) to `requestor` goes out. Returns true when the
+  /// send must be suppressed (exactly-once: the entry is consumed, the
+  /// suppression counted and traced). With dedup off, returns false and
+  /// counts the duplicate instead — the oracle's true-positive signal.
+  bool note_already_served(net::NodeId source, net::SeqNo seq,
+                           net::NodeId requestor, bool expedited);
+
   sim::Simulator& sim_;
   net::Network& net_;
   const net::NodeId self_;
@@ -336,6 +387,13 @@ class SrmAgent : public net::Agent {
   bool resync_pending_ = false;
   std::unique_ptr<AdaptiveController> req_ctrl_;  ///< adaptive C1/C2
   std::unique_ptr<AdaptiveController> rep_ctrl_;  ///< adaptive D1/D2
+  /// Durable-state sink (null = durability off, hooks are no-ops).
+  DurableSink* durable_sink_ = nullptr;
+  /// Reply-dedup ledger restored by journal replay: retransmissions this
+  /// member provably served before its crash, keyed ⟨source, seq,
+  /// requestor⟩. Ordered set: replay order must not depend on hashing.
+  std::set<std::tuple<net::NodeId, net::SeqNo, net::NodeId>> restored_served_;
+  bool reply_dedup_ = true;
 };
 
 }  // namespace cesrm::srm

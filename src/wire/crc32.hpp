@@ -1,0 +1,20 @@
+// crc32.hpp — CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320).
+//
+// The checksum that frames durable-journal records (src/durable): cheap,
+// table-driven, dependency-free, and stable across platforms. This is an
+// error-*detection* code for torn writes and bit rot, not a cryptographic
+// integrity primitive — the journal trusts its own disk, not an attacker.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace cesrm::wire {
+
+/// CRC-32 of `bytes`, continuing from `seed` (pass the previous return
+/// value to checksum data arriving in pieces; the default starts fresh).
+std::uint32_t crc32(std::span<const std::uint8_t> bytes,
+                    std::uint32_t seed = 0);
+
+}  // namespace cesrm::wire

@@ -1,12 +1,15 @@
 // Tests for the fault-injection subsystem: FaultPlan resolution and
 // validation, the shipped §3.3 scenarios under both protocols, the
-// crash-with-in-flight-timers regression, the oracle's ability to detect
-// genuine liveness violations, randomized fault-plan properties, and the
-// runner's determinism contract for faulted jobs.
+// crash-with-in-flight-timers regression, crash-at-boundary cases
+// (pending reply timers, cache churn under a warm durable restart,
+// back-to-back and overlapping crash clauses), the oracle's ability to
+// detect genuine liveness violations, randomized fault-plan properties,
+// and the runner's determinism contract for faulted jobs.
 #include <gtest/gtest.h>
 
 #include <memory>
 
+#include "durable/store.hpp"
 #include "fault/fault_plan.hpp"
 #include "harness/experiment.hpp"
 #include "harness/runner.hpp"
@@ -51,14 +54,15 @@ const Workload& workload() {
   return *w;
 }
 
-harness::ExperimentResult run_with_plan(Protocol protocol,
-                                        const fault::FaultPlan& plan,
-                                        std::uint64_t seed = 5) {
+harness::ExperimentResult run_with_plan(
+    Protocol protocol, const fault::FaultPlan& plan, std::uint64_t seed = 5,
+    durable::DurableMode durable_mode = durable::DurableMode::kOff) {
   const auto& w = workload();
   harness::ExperimentConfig cfg;
   cfg.protocol = protocol;
   cfg.seed = seed;
   cfg.faults = plan;
+  cfg.durable.mode = durable_mode;
   return run_experiment(*w.gen.loss, *w.links, cfg);
 }
 
@@ -209,6 +213,119 @@ TEST(FaultCrash, RecoveredAgentCatchesUpOnCrashTimeLosses) {
         protocol, fault::crash_recover_plan(workload().context));
     for (const auto& m : result.members)
       EXPECT_FALSE(m.failed) << "node " << m.node << " never recovered";
+    EXPECT_EQ(live_unrecovered(result), 0u);
+  }
+}
+
+// -------------------------------------------------- crash-at-boundary -------
+
+TEST(FaultCrash, OverlappingCrashClausesSkipRecoverOfLiveMember) {
+  // Two hand-edited clauses for the same member whose intervals nest:
+  // clause A crashes rank 0 at 40% of the stream and recovers it at 70%;
+  // clause B "crashes" it again at 45% (a no-op — fail() is idempotent on
+  // an already-down member) and recovers it early at 55%. When A's
+  // recover event then fires at 70% the member is already live; the
+  // scheduler must log and skip it instead of aborting inside
+  // SrmAgent::recover()'s live-member CHECK.
+  const auto& ctx = workload().context;
+  const sim::SimTime span = ctx.data_end - ctx.data_start;
+  fault::FaultPlan plan;
+  plan.crashes.push_back(fault::CrashEvent{0, ctx.data_start + span * 0.40,
+                                           ctx.data_start + span * 0.70});
+  plan.crashes.push_back(fault::CrashEvent{0, ctx.data_start + span * 0.45,
+                                           ctx.data_start + span * 0.55});
+  ASSERT_NO_THROW(plan.validate());
+  for (const Protocol protocol : {Protocol::kSrm, Protocol::kCesrm}) {
+    harness::ExperimentResult result;
+    ASSERT_NO_THROW(result = run_with_plan(protocol, plan));
+    for (const auto& m : result.members)
+      EXPECT_FALSE(m.failed) << "node " << m.node;
+    EXPECT_EQ(live_unrecovered(result), 0u);
+    EXPECT_EQ(total_zombie_fires(result), 0u);
+  }
+}
+
+TEST(FaultCrash, CrashWithPendingReplyTimersThenWarmRecover) {
+  // Crash half the receivers at the busiest point of the stream: with 5%
+  // loss across 7 receivers they are constantly serving each other's
+  // repairs, so the crash lands while reply (and request) timers are
+  // pending on the crashed members. fail() must disarm them all, and a
+  // warm restart must replay the reply-served ledger without re-serving a
+  // retransmission the member already sent — the oracle enforces both the
+  // zombie-timer and the duplicate-retransmission invariants.
+  const auto& ctx = workload().context;
+  const sim::SimTime span = ctx.data_end - ctx.data_start;
+  fault::FaultPlan plan;
+  for (int rank = 0; rank < ctx.receivers / 2; ++rank)
+    plan.crashes.push_back(fault::CrashEvent{
+        rank, ctx.data_start + span * 0.50, ctx.data_start + span * 0.75});
+  harness::ExperimentResult result;
+  ASSERT_NO_THROW(result = run_with_plan(Protocol::kCesrm, plan, 5,
+                                         durable::DurableMode::kWarm));
+  std::uint64_t replies_from_recovered = 0;
+  for (const auto& m : result.members) {
+    EXPECT_FALSE(m.failed) << "node " << m.node;
+    EXPECT_EQ(m.stats.zombie_timer_fires, 0u) << "node " << m.node;
+    EXPECT_EQ(m.stats.duplicate_retransmissions_served, 0u)
+        << "node " << m.node;
+    replies_from_recovered += m.stats.replies_sent;
+  }
+  EXPECT_EQ(live_unrecovered(result), 0u);
+  // The workload really does exercise the reply path around the crash.
+  EXPECT_GT(replies_from_recovered, 0u);
+}
+
+TEST(FaultCrash, WarmRestartReplaysCacheAcrossAdmissionEvictionChurn) {
+  // The write-behind journal records cache admissions but not the
+  // evictions and expirations that follow (a restore re-applies the
+  // admission sequence and lets the cache's own policy re-evict), so a
+  // member that crashes mid-churn replays tuples whose cache slots had
+  // already been recycled. The restore path must treat those as ordinary
+  // updates — the run must stay oracle-clean with a populated, evicting
+  // cache on both sides of the crash.
+  const auto plan = fault::crash_recover_plan(workload().context);
+  harness::ExperimentResult result;
+  ASSERT_NO_THROW(result = run_with_plan(Protocol::kCesrm, plan, 5,
+                                         durable::DurableMode::kWarm));
+  std::uint64_t insertions = 0, evictions = 0;
+  for (const auto& m : result.members) {
+    EXPECT_FALSE(m.failed) << "node " << m.node;
+    EXPECT_EQ(m.stats.duplicate_retransmissions_served, 0u)
+        << "node " << m.node;
+    insertions += m.stats.cache_insertions;
+    evictions += m.stats.cache_evictions;
+  }
+  EXPECT_EQ(live_unrecovered(result), 0u);
+  // Churn actually happened: the caches admitted and recycled entries.
+  EXPECT_GT(insertions, 0u);
+  EXPECT_GT(evictions, 0u);
+}
+
+TEST(FaultCrash, BackToBackCrashRecoverOfSameMember) {
+  // The same member crashes and recovers twice in quick succession; the
+  // second crash lands while the first recovery's catch-up is still
+  // draining. Every restart must re-detect the union of its losses, and
+  // with warm durable state the second restore replays a journal that was
+  // itself written partly during catch-up.
+  const auto& ctx = workload().context;
+  const sim::SimTime span = ctx.data_end - ctx.data_start;
+  fault::FaultPlan plan;
+  plan.crashes.push_back(fault::CrashEvent{0, ctx.data_start + span * 0.35,
+                                           ctx.data_start + span * 0.45});
+  plan.crashes.push_back(fault::CrashEvent{0, ctx.data_start + span * 0.50,
+                                           ctx.data_start + span * 0.60});
+  ASSERT_NO_THROW(plan.validate());
+  for (const durable::DurableMode mode :
+       {durable::DurableMode::kOff, durable::DurableMode::kWarm}) {
+    harness::ExperimentResult result;
+    ASSERT_NO_THROW(
+        result = run_with_plan(Protocol::kCesrm, plan, 5, mode));
+    for (const auto& m : result.members) {
+      EXPECT_FALSE(m.failed) << "node " << m.node;
+      EXPECT_EQ(m.stats.zombie_timer_fires, 0u) << "node " << m.node;
+      EXPECT_EQ(m.stats.duplicate_retransmissions_served, 0u)
+          << "node " << m.node;
+    }
     EXPECT_EQ(live_unrecovered(result), 0u);
   }
 }

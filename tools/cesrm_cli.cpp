@@ -44,7 +44,9 @@
 #include <iostream>
 
 #include <functional>
+#include <optional>
 
+#include "durable/store.hpp"
 #include "harness/experiment.hpp"
 #include "harness/reports.hpp"
 #include "harness/runner.hpp"
@@ -182,12 +184,41 @@ int cmd_estimate(const util::CliFlags& flags) {
   return 0;
 }
 
-harness::ExperimentConfig config_from_flags(const util::CliFlags& flags) {
+// Builds the simulate/compare experiment config; nullopt (after a one-line
+// friendly stderr message, not a CHECK crash) on bad flag values.
+std::optional<harness::ExperimentConfig> config_from_flags(
+    const util::CliFlags& flags) {
   harness::ExperimentConfig cfg;
   cfg.cesrm.router_assist = flags.get_bool("router-assist");
   cfg.cesrm.policy = ::cesrm::cesrm::parse_policy(flags.get_string("policy"));
-  cfg.cesrm.cache.policy =
-      ::cesrm::cesrm::parse_cache_policy(flags.get_string("cache-policy"));
+  const auto cache_policy =
+      ::cesrm::cesrm::try_parse_cache_policy(flags.get_string("cache-policy"));
+  if (!cache_policy) {
+    std::cerr << "bad --cache-policy: '" << flags.get_string("cache-policy")
+              << "' (valid: " << ::cesrm::cesrm::cache_policy_names() << ")\n";
+    return std::nullopt;
+  }
+  cfg.cesrm.cache.policy = *cache_policy;
+  // simulate/compare have no loss ground truth wired into the cache, so
+  // the side-info policies would silently degrade to recency — refuse
+  // them up front with a message instead.
+  if (::cesrm::cesrm::cache_policy_needs_side_info(*cache_policy)) {
+    std::cerr << "--cache-policy "
+              << ::cesrm::cesrm::cache_policy_name(*cache_policy)
+              << " needs cache side info, which this command does not "
+                 "provide (policies needing side info: "
+              << ::cesrm::cesrm::cache_policies_needing_side_info()
+              << "); pick another policy\n";
+    return std::nullopt;
+  }
+  const auto durable_mode =
+      durable::try_parse_durable_mode(flags.get_string("durable"));
+  if (!durable_mode) {
+    std::cerr << "bad --durable: '" << flags.get_string("durable")
+              << "' (valid: " << durable::durable_mode_names() << ")\n";
+    return std::nullopt;
+  }
+  cfg.durable.mode = *durable_mode;
   cfg.cesrm.srm.adaptive_timers = flags.get_bool("adaptive");
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
   cfg.observe.trace = !flags.get_string("trace-out").empty();
@@ -271,7 +302,9 @@ int cmd_simulate(const util::CliFlags& flags) {
       *file.loss, est.loss_rate);
   const infer::LinkTraceRepresentation& links = *links_ptr;
 
-  harness::ExperimentConfig cfg = config_from_flags(flags);
+  const auto maybe_cfg = config_from_flags(flags);
+  if (!maybe_cfg) return 1;
+  harness::ExperimentConfig cfg = *maybe_cfg;
   const std::string protocol = flags.get_string("protocol");
   if (protocol == "lms") {
     // LMS needs the shared router directory, so it is driven directly.
@@ -388,7 +421,9 @@ int cmd_compare(const util::CliFlags& flags) {
 
   // Both protocol replays share the loaded trace and its link
   // representation; with --jobs >= 2 they run concurrently.
-  const harness::ExperimentConfig cfg = config_from_flags(flags);
+  const auto maybe_cfg = config_from_flags(flags);
+  if (!maybe_cfg) return 1;
+  const harness::ExperimentConfig cfg = *maybe_cfg;
   std::vector<harness::ExperimentJob> jobs(2);
   for (std::size_t i = 0; i < 2; ++i) {
     jobs[i].loss = file.loss;
@@ -574,6 +609,9 @@ int main(int argc, char** argv) {
   flags.add_string("cache-policy", "recency",
                    std::string("cache replacement policy: ") +
                        ::cesrm::cesrm::cache_policy_names());
+  flags.add_string("durable", "off",
+                   std::string("durable recovery state for 'simulate': ") +
+                       ::cesrm::durable::durable_mode_names());
   flags.add_bool("router-assist", false, "enable §3.3 router assistance");
   flags.add_bool("adaptive", false, "enable adaptive SRM timers");
   flags.add_int("seed", 1, "experiment seed");
