@@ -92,5 +92,5 @@ int main(int argc, char** argv) {
                "trade-off curve,\nwhile CESRM's caching steps off that "
                "curve entirely)\n";
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

@@ -63,5 +63,5 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper: results with the three delays were very similar; "
                "normalized metrics are\nlargely delay-invariant)\n";
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

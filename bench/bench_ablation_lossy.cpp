@@ -68,5 +68,5 @@ int main(int argc, char** argv) {
   std::cout << "\n(paper: with lossy recovery, latencies are slightly "
                "larger and CESRM exhibits similar\nimprovements over SRM)\n";
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

@@ -103,5 +103,5 @@ int main(int argc, char** argv) {
                "the most recent loss; most-recent needs a cache of just "
                "one entry)\n";
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

@@ -220,5 +220,5 @@ int main(int argc, char** argv) {
     os << "  }\n}\n";
     std::cerr << "wrote " << out_path << "\n";
   }
-  return 0;
+  return bench::slo_exit(opts);
 }

@@ -132,5 +132,5 @@ int main(int argc, char** argv) {
                "fallback\nrecoveries, so the expedited share climbs back "
                "after the crash)\n";
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

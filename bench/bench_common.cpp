@@ -31,6 +31,14 @@ void add_common_flags(util::CliFlags& flags,
   flags.add_string("metrics-out", "",
                    "write merged run metrics (counters/gauges/histograms) "
                    "here as JSON");
+  flags.add_string("stream-out", "",
+                   "write constant-memory streaming telemetry (latency "
+                   "histograms, heavy-hitter links) here as JSON");
+  flags.add_string("slo", "",
+                   "comma-separated service-level assertions checked after "
+                   "the sweep, e.g. recovery_p99<6.5,unrecovered<=0 "
+                   "(metrics: recovery_{p50,p90,p99,mean,max} in RTT units, "
+                   "unrecovered; exit 3 on failure)");
   flags.add_string("cache-policy", "recency",
                    std::string("CESRM cache replacement policy: ") +
                        cesrm::cache_policy_names());
@@ -85,17 +93,132 @@ bool read_common_flags(const util::CliFlags& flags, BenchOptions* out) {
     return false;
   }
   out->base.durable.mode = *durable_mode;
-  util::set_log_threshold(util::parse_log_level(flags.get_string("log-level")));
+  const std::string log_level = flags.get_string("log-level");
+  const auto level = util::try_parse_log_level(log_level);
+  if (!level) {
+    std::cerr << "bad --log-level: '" << log_level
+              << "' (valid: " << util::log_level_spellings() << ")\n";
+    return false;
+  }
+  util::set_log_threshold(*level);
   const std::string trace_out = flags.get_string("trace-out");
+  if (!trace_out.empty() && !trace_out.ends_with(".json") &&
+      !trace_out.ends_with(".jsonl")) {
+    std::cerr << "bad --trace-out: '" << trace_out
+              << "' (want a .json path for Chrome trace_event format or "
+                 ".jsonl for one event per line)\n";
+    return false;
+  }
   const std::string metrics_out = flags.get_string("metrics-out");
-  if (!trace_out.empty() || !metrics_out.empty()) {
+  const std::string stream_out = flags.get_string("stream-out");
+  if (!trace_out.empty() || !metrics_out.empty() || !stream_out.empty()) {
     out->obs = std::make_shared<ObsAccumulator>();
     out->obs->trace_path = trace_out;
     out->obs->metrics_path = metrics_out;
+    out->obs->stream_path = stream_out;
     out->base.observe.trace = !trace_out.empty();
     out->base.observe.metrics = !metrics_out.empty();
+    out->base.observe.stream = !stream_out.empty();
+  }
+  const std::string slo = flags.get_string("slo");
+  if (!slo.empty()) {
+    auto gate = std::make_shared<SloGate>();
+    if (!parse_slo(slo, &gate->specs)) return false;
+    out->slo = std::move(gate);
   }
   return true;
+}
+
+bool parse_slo(const std::string& text, std::vector<SloSpec>* out) {
+  for (const auto& tok : util::split(text, ',')) {
+    SloSpec spec;
+    spec.text = tok;
+    std::size_t op = tok.find_first_of("<>");
+    if (op == std::string::npos || op == 0) {
+      std::cerr << "bad --slo assertion: '" << tok
+                << "' (want metric<limit, metric<=limit, metric>limit, or "
+                   "metric>=limit)\n";
+      return false;
+    }
+    spec.metric = tok.substr(0, op);
+    std::size_t value_at = op + 1;
+    const bool or_equal = value_at < tok.size() && tok[value_at] == '=';
+    if (or_equal) ++value_at;
+    spec.cmp = tok[op] == '<' ? (or_equal ? SloSpec::Cmp::kLe : SloSpec::Cmp::kLt)
+                              : (or_equal ? SloSpec::Cmp::kGe : SloSpec::Cmp::kGt);
+    const auto limit = util::parse_double(tok.substr(value_at));
+    if (!limit) {
+      std::cerr << "bad --slo limit in '" << tok << "': '"
+                << tok.substr(value_at) << "' is not a number\n";
+      return false;
+    }
+    spec.limit = *limit;
+    SloGate probe;
+    double ignored = 0;
+    if (!probe.value_of(spec.metric, &ignored)) {
+      std::cerr << "bad --slo metric: '" << spec.metric
+                << "' (valid: recovery_p50, recovery_p90, recovery_p99, "
+                   "recovery_mean, recovery_max, unrecovered)\n";
+      return false;
+    }
+    out->push_back(std::move(spec));
+  }
+  if (out->empty()) {
+    std::cerr << "bad --slo: no assertions given\n";
+    return false;
+  }
+  return true;
+}
+
+void SloGate::accumulate(const harness::ExperimentResult& result) {
+  for (const auto& m : result.members) {
+    if (m.is_source || m.rtt_to_source <= 0.0) continue;
+    for (const auto& r : m.stats.recoveries) {
+      if (r.recovered)
+        normalized_latency.add(r.latency_seconds() / m.rtt_to_source);
+      else
+        ++unrecovered;
+    }
+  }
+}
+
+bool SloGate::value_of(const std::string& metric, double* out) const {
+  const bool empty = normalized_latency.empty();
+  if (metric == "recovery_p50")
+    *out = empty ? 0.0 : normalized_latency.percentile(50.0);
+  else if (metric == "recovery_p90")
+    *out = empty ? 0.0 : normalized_latency.percentile(90.0);
+  else if (metric == "recovery_p99")
+    *out = empty ? 0.0 : normalized_latency.percentile(99.0);
+  else if (metric == "recovery_mean")
+    *out = empty ? 0.0 : normalized_latency.mean();
+  else if (metric == "recovery_max")
+    *out = empty ? 0.0 : normalized_latency.max();
+  else if (metric == "unrecovered")
+    *out = static_cast<double>(unrecovered);
+  else
+    return false;
+  return true;
+}
+
+int slo_exit(const BenchOptions& opts) {
+  if (!opts.slo) return 0;
+  bool all_pass = true;
+  for (const SloSpec& spec : opts.slo->specs) {
+    double value = 0;
+    opts.slo->value_of(spec.metric, &value);  // metric validated at parse
+    bool pass = false;
+    switch (spec.cmp) {
+      case SloSpec::Cmp::kLt: pass = value < spec.limit; break;
+      case SloSpec::Cmp::kLe: pass = value <= spec.limit; break;
+      case SloSpec::Cmp::kGt: pass = value > spec.limit; break;
+      case SloSpec::Cmp::kGe: pass = value >= spec.limit; break;
+    }
+    all_pass = all_pass && pass;
+    std::cout << "SLO " << spec.text << ": " << (pass ? "PASS" : "FAIL")
+              << " (" << util::fmt_fixed(value, 4) << ")\n";
+  }
+  return all_pass ? 0 : 3;
 }
 
 trace::TraceSpec capped_spec(const trace::TraceSpec& spec,
@@ -155,9 +278,12 @@ std::vector<harness::JobOutcome> run_jobs(
       if (outcome.result.events)
         opts.obs->captures.push_back({std::move(name), outcome.result.events});
       opts.obs->metrics.merge(outcome.result.metrics);
+      if (outcome.result.sketch) opts.obs->sketch.merge(*outcome.result.sketch);
     }
     write_obs_artifacts(*opts.obs);
   }
+  if (opts.slo)
+    for (const auto& outcome : outcomes) opts.slo->accumulate(outcome.result);
   return outcomes;
 }
 
@@ -235,6 +361,15 @@ void write_obs_artifacts(const ObsAccumulator& acc) {
       std::cerr << "error: could not write " << acc.metrics_path << "\n";
     } else {
       acc.metrics.to_json(out);
+      out << "\n";
+    }
+  }
+  if (!acc.stream_path.empty()) {
+    std::ofstream out(acc.stream_path);
+    if (!out) {
+      std::cerr << "error: could not write " << acc.stream_path << "\n";
+    } else {
+      acc.sketch.to_json(out);
       out << "\n";
     }
   }

@@ -21,9 +21,11 @@
 #include "harness/runner.hpp"
 #include "infer/link_trace.hpp"
 #include "obs/export.hpp"
+#include "obs/sketch.hpp"
 #include "trace/catalog.hpp"
 #include "trace/trace_generator.hpp"
 #include "util/cli.hpp"
+#include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
@@ -48,13 +50,43 @@ struct TraceRun {
 struct ObsAccumulator {
   std::string trace_path;    // --trace-out=FILE ("" = off)
   std::string metrics_path;  // --metrics-out=FILE ("" = off)
+  std::string stream_path;   // --stream-out=FILE ("" = off)
   struct Capture {
     std::string name;  ///< "trace/protocol[/label]" process label
     std::shared_ptr<const std::vector<obs::TraceEvent>> events;
   };
   std::vector<Capture> captures;
   obs::MetricsSnapshot metrics;
+  /// Cross-job streaming telemetry, merged strictly in job order — like
+  /// every other artifact, byte-identical for any --jobs value.
+  obs::StreamingSketch sketch;
 };
+
+/// One parsed --slo assertion, e.g. "recovery_p99<6.5".
+struct SloSpec {
+  enum class Cmp { kLt, kLe, kGt, kGe };
+  std::string metric;  ///< recovery_{p50,p90,p99,mean,max} | unrecovered
+  Cmp cmp = Cmp::kLt;
+  double limit = 0;
+  std::string text;  ///< the original spelling, echoed in the verdict line
+};
+
+/// Accumulates the observations the --slo assertions are checked against:
+/// per-recovery latencies normalized by the recovering member's RTT to the
+/// source (the paper's unit in Figures 1-2) and the unrecovered count.
+struct SloGate {
+  std::vector<SloSpec> specs;
+  util::Sample normalized_latency;
+  std::uint64_t unrecovered = 0;
+
+  void accumulate(const harness::ExperimentResult& result);
+  /// Value of one metric name; false when the name is unknown.
+  bool value_of(const std::string& metric, double* out) const;
+};
+
+/// Parses a comma-separated --slo value into specs. Returns false (with a
+/// friendly stderr message) on an unknown metric or malformed assertion.
+bool parse_slo(const std::string& text, std::vector<SloSpec>* out);
 
 /// Common bench options parsed from the command line.
 struct BenchOptions {
@@ -69,10 +101,21 @@ struct BenchOptions {
   /// Off by default — default stdout stays byte-identical.
   bool wire_bytes = false;
   harness::ExperimentConfig base;  // assembled from the flags
-  /// Non-null when --trace-out/--metrics-out asked for artifacts; shared
-  /// so run_jobs can accumulate through the const BenchOptions& it takes.
+  /// Non-null when --trace-out/--metrics-out/--stream-out asked for
+  /// artifacts; shared so run_jobs can accumulate through the const
+  /// BenchOptions& it takes.
   std::shared_ptr<ObsAccumulator> obs;
+  /// Non-null when --slo asserted service levels; accumulated by run_jobs
+  /// alongside the artifacts and settled by slo_exit().
+  std::shared_ptr<SloGate> slo;
 };
+
+/// Evaluates the gate when --slo was given: prints one deterministic
+/// "SLO <assertion>: PASS|FAIL (<observed>)" line per assertion to stdout
+/// and returns 0 (all pass) or 3 (any fail). No-op returning 0 without
+/// --slo, so default bench output stays byte-identical. Benches end their
+/// main with `return slo_exit(opts);`.
+int slo_exit(const BenchOptions& opts);
 
 /// Registers the common flags on `flags`.
 void add_common_flags(util::CliFlags& flags, const std::string& default_traces);

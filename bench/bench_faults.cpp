@@ -285,5 +285,5 @@ int main(int argc, char** argv) {
                "crash, enforced by the oracle)\n";
 
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

@@ -60,5 +60,5 @@ int main(int argc, char** argv) {
               << "%   (paper: 40-70%, ~50% on average)\n";
   }
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

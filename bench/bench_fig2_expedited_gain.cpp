@@ -63,5 +63,5 @@ int main(int argc, char** argv) {
               << " RTT   (paper: 1 to 2.5 RTT)\n";
   }
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

@@ -47,5 +47,5 @@ int main(int argc, char** argv) {
             << "\n(paper: CESRM multicasts fewer requests; many of its "
                "requests are unicast)\n";
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

@@ -50,5 +50,5 @@ int main(int argc, char** argv) {
               << "% of SRM's retransmissions   (paper: 30%-80%)\n";
   }
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

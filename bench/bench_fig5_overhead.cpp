@@ -93,5 +93,5 @@ int main(int argc, char** argv) {
                  "counts flatten)\n";
   }
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

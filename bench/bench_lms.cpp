@@ -229,5 +229,5 @@ int main(int argc, char** argv) {
                "post-crash latency spike — while\nCESRM degrades to SRM "
                "and re-seeds its caches (§3.3, §5: \"CESRM remains robust "
                "...\nwhereas LMS does not\").\n";
-  return 0;
+  return bench::slo_exit(opts);
 }

@@ -81,5 +81,5 @@ int main(int argc, char** argv) {
                "the turning point plus its subtree — lighter-weight than "
                "LMS\nbecause routers keep no replier state)\n";
   bench::write_json(opts, sink);
-  return 0;
+  return bench::slo_exit(opts);
 }

@@ -163,11 +163,17 @@ void CesrmAgent::on_reply_observed(const net::Packet& pkt) {
   if (pkt.ann.requestor == net::kInvalidNode ||
       pkt.ann.replier == net::kInvalidNode)
     return;
-  const bool changed =
-      mutable_cache(pkt.source)
-          .update(RecoveryTuple::from_annotation(pkt.seq, pkt.ann),
-                  sim_.now());
-  if (changed && durable_sink_)
+  RecoveryCache& cache = mutable_cache(pkt.source);
+  const bool changed = cache.update(
+      RecoveryTuple::from_annotation(pkt.seq, pkt.ann), sim_.now());
+  if (!changed) return;
+  if (auto* rec = sim_.recorder())
+    // detail: per-source occupancy after the admit — the Chrome exporter
+    // turns the series into a cache-pressure counter track.
+    rec->emit(sim_.now(), obs::EventKind::kCacheStored, node(), pkt.source,
+              pkt.seq, pkt.ann.replier,
+              static_cast<std::int64_t>(cache.size()));
+  if (durable_sink_)
     durable_sink_->on_cache_tuple(pkt.source, pkt.seq, pkt.ann);
 }
 

@@ -304,6 +304,7 @@ ExperimentResult run_experiment_impl(
     if (config.observe.trace)
       result.events = std::make_shared<const std::vector<obs::TraceEvent>>(
           recorder->take_events());
+    if (config.observe.stream) result.sketch = recorder->take_sketch();
     if (config.observe.profile) result.wall_profile = sim.wall_per_sim_second();
     if (config.observe.metrics) {
       obs::MetricsRegistry reg;

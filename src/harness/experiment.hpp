@@ -95,6 +95,10 @@ struct ExperimentResult {
   /// Named counters/gauges/histograms (only when config.observe.metrics;
   /// empty otherwise). Deterministic: keyed by sim-time quantities only.
   obs::MetricsSnapshot metrics;
+  /// Constant-memory telemetry sketch (only when config.observe.stream):
+  /// latency/wait histograms and heavy-hitter links folded during the run
+  /// in O(buckets) space, independent of event count. Null otherwise.
+  std::shared_ptr<const obs::StreamingSketch> sketch;
   /// Wall seconds spent per completed sim-second (only when
   /// config.observe.profile). Wall-clock — never exported to artifacts.
   std::vector<double> wall_profile;

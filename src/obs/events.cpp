@@ -14,6 +14,7 @@ const char* event_kind_name(EventKind kind) {
     case EventKind::kExpAttempt: return "exp_attempt";
     case EventKind::kCacheHit: return "cache_hit";
     case EventKind::kCacheMiss: return "cache_miss";
+    case EventKind::kCacheStored: return "cache_stored";
     case EventKind::kExpSuccess: return "exp_success";
     case EventKind::kExpFallback: return "exp_fallback";
     case EventKind::kRecovered: return "recovered";

@@ -34,6 +34,9 @@ enum class EventKind : std::uint8_t {
   kCacheHit,             ///< select_pair found a tuple; peer: its replier;
                          ///< detail: 1 when the pair names us requestor
   kCacheMiss,            ///< cache had no usable tuple for the loss
+  kCacheStored,          ///< reply admitted into the recovery cache;
+                         ///< peer: replier; detail: per-source occupancy
+                         ///< after the update (lifecycle-neutral)
 
   // Recovery outcomes — exactly one per RecoveryRecord created by
   // mark_received(): the reconstructor's closing events.
@@ -82,6 +85,14 @@ struct TraceEvent {
   net::SeqNo seq = net::kNoSeq;
   net::NodeId peer = net::kInvalidNode;    ///< kind-specific counterpart
   std::int64_t detail = 0;                 ///< kind-specific extra
+  /// Second kind-specific extra, in nanoseconds where it is a duration:
+  /// closing events (kRecovered/kExpSuccess/kExpFallback) carry the
+  /// recovery latency (now − detect), kRepairSent the reply scheduling
+  /// wait (now − request arrival; 0 for expedited replies, which are
+  /// sent immediately). The latency on the closing event is what lets
+  /// the streaming sketch fold percentiles in O(1) state per event
+  /// without reconstructing lifecycles.
+  std::int64_t aux = 0;
 };
 
 }  // namespace cesrm::obs

@@ -1,5 +1,7 @@
 #include "obs/export.hpp"
 
+#include <map>
+
 #include "obs/timeline.hpp"
 #include "util/json.hpp"
 
@@ -15,7 +17,8 @@ void json_micros(std::ostream& os, sim::SimTime t) {
 
 void event_args(std::ostream& os, const TraceEvent& e) {
   os << "{\"source\":" << e.source << ",\"seq\":" << e.seq
-     << ",\"peer\":" << e.peer << ",\"detail\":" << e.detail << '}';
+     << ",\"peer\":" << e.peer << ",\"detail\":" << e.detail
+     << ",\"aux\":" << e.aux << '}';
 }
 
 }  // namespace
@@ -28,7 +31,7 @@ void write_events_jsonl(std::ostream& os, std::span<const TraceEvent> events) {
     util::json_escape(os, event_kind_name(e.kind));
     os << ",\"node\":" << e.node << ",\"source\":" << e.source
        << ",\"seq\":" << e.seq << ",\"peer\":" << e.peer
-       << ",\"detail\":" << e.detail << "}\n";
+       << ",\"detail\":" << e.detail << ",\"aux\":" << e.aux << "}\n";
   }
 }
 
@@ -60,6 +63,53 @@ void write_chrome_trace(std::ostream& os,
       os << ",\"args\":";
       event_args(os, e);
       os << '}';
+    }
+
+    // Counter tracks (ph "C"): cache pressure next to the recovery spans.
+    // One track per (pid, name), so the node id goes into the name.
+    //  * outstanding.<node> — open loss lifecycles at that member (+1 on
+    //    detection, −1 on the closing event, reset on a crash, mirroring
+    //    the reconstructor's open-lifecycle bookkeeping);
+    //  * cache.<node> — per-source recovery-cache occupancy reported by
+    //    kCacheStored's detail.
+    std::map<net::NodeId, std::int64_t> outstanding;
+    const auto counter = [&](const char* prefix, net::NodeId node,
+                             sim::SimTime at, const char* arg,
+                             std::int64_t value) {
+      sep();
+      os << "{\"name\":\"" << prefix << '.' << node
+         << "\",\"ph\":\"C\",\"pid\":" << pid << ",\"tid\":" << node
+         << ",\"ts\":";
+      json_micros(os, at);
+      os << ",\"args\":{\"" << arg << "\":" << value << "}}";
+    };
+    for (const TraceEvent& e : job.events) {
+      switch (e.kind) {
+        case EventKind::kLossDetected:
+          counter("outstanding", e.node, e.at, "losses", ++outstanding[e.node]);
+          break;
+        case EventKind::kExpSuccess:
+        case EventKind::kExpFallback:
+        case EventKind::kRecovered:
+          if (auto it = outstanding.find(e.node);
+              it != outstanding.end() && it->second > 0)
+            counter("outstanding", e.node, e.at, "losses", --it->second);
+          break;
+        case EventKind::kFaultApplied:
+          if (e.detail == kFaultCrash) {
+            if (auto it = outstanding.find(e.node);
+                it != outstanding.end() && it->second > 0) {
+              it->second = 0;
+              counter("outstanding", e.node, e.at, "losses", 0);
+            }
+          }
+          break;
+        case EventKind::kCacheStored:
+          counter("cache", e.node, e.at, "entries", e.detail);
+          break;
+        default:
+          break;
+      }
     }
 
     // Recovery spans: detection → delivery per recovered lifecycle.

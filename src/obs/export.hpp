@@ -10,7 +10,10 @@
 //    member node becomes a thread (tid = node id). Protocol events render
 //    as instants (ph "i") and every recovered loss lifecycle as a duration
 //    span (ph "X") from detection to delivery, so suppression dynamics and
-//    expedited-vs-reactive latency are visible on one timeline.
+//    expedited-vs-reactive latency are visible on one timeline. Counter
+//    tracks (ph "C") plot cache pressure alongside: outstanding.<node> is
+//    the member's open-loss count, cache.<node> its recovery-cache
+//    occupancy (from kCacheStored).
 //
 // Both outputs contain only sim-time (µs) and ids — byte-identical for a
 // given run regardless of worker count or wall-clock conditions.

@@ -1,0 +1,37 @@
+// jsonl.hpp — reader for the JSONL traces our own exporter writes.
+//
+// The CLI forensics commands (explain / analyze) work offline, from a
+// trace file rather than a live run, so the event stream must round-trip:
+// write_events_jsonl → read_events_jsonl → the same TraceEvents. The
+// parser is deliberately scoped to that closed loop — one object per
+// line, the exporter's key set in any order, numbers and quoted kind
+// names only — and reports the first malformed line instead of guessing.
+// Timestamps survive exactly: ts_us is emitted with 17 significant digits
+// (util::json_double), so llround(ts_us * 1000) reproduces the integer
+// nanosecond tick for every sim-scale time.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace cesrm::obs {
+
+/// Result of parsing one stream: events in file order, or the first error.
+struct JsonlReadResult {
+  std::vector<TraceEvent> events;
+  bool ok = true;
+  std::size_t error_line = 0;  ///< 1-based, valid when !ok
+  std::string error;           ///< what was wrong with that line
+};
+
+/// Parses a JSONL trace as written by write_events_jsonl. Blank lines are
+/// skipped; any other deviation stops the parse with a diagnostic.
+JsonlReadResult read_events_jsonl(std::istream& is);
+
+/// Reverse of event_kind_name(); returns false for unknown spellings.
+bool parse_event_kind(const std::string& name, EventKind& out);
+
+}  // namespace cesrm::obs

@@ -1,0 +1,267 @@
+#include "obs/sketch.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+
+#include "util/check.hpp"
+
+namespace cesrm::obs {
+
+namespace {
+
+// Live/peak sketch bytes across the process. Atomic because the parallel
+// runner folds many per-run sketches concurrently; the peak update is a
+// CAS loop so concurrent allocations never lose a high-water mark.
+std::atomic<std::uint64_t> g_live{0};
+std::atomic<std::uint64_t> g_peak{0};
+
+void note_alloc(std::uint64_t bytes) {
+  const std::uint64_t live =
+      g_live.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  std::uint64_t peak = g_peak.load(std::memory_order_relaxed);
+  while (live > peak &&
+         !g_peak.compare_exchange_weak(peak, live, std::memory_order_relaxed)) {
+  }
+}
+
+void note_free(std::uint64_t bytes) {
+  g_live.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+constexpr std::uint64_t kHistogramBytes =
+    LogHistogram::kBucketCount * sizeof(std::uint64_t);
+
+// Conservative per-entry footprint of the bounded Space-Saving map (entry
+// payload + red-black node overhead); charged for the full capacity up
+// front since the map never grows beyond it.
+constexpr std::uint64_t kTopKEntryBytes = sizeof(TopK::Entry) + 48;
+
+}  // namespace
+
+std::uint64_t sketch_live_bytes() {
+  return g_live.load(std::memory_order_relaxed);
+}
+std::uint64_t sketch_peak_bytes() {
+  return g_peak.load(std::memory_order_relaxed);
+}
+void sketch_reset_peak() {
+  g_peak.store(g_live.load(std::memory_order_relaxed),
+               std::memory_order_relaxed);
+}
+
+// ------------------------------------------------------------ LogHistogram --
+
+LogHistogram::LogHistogram() : counts_(kBucketCount, 0) {
+  note_alloc(kHistogramBytes);
+}
+
+LogHistogram::~LogHistogram() { note_free(kHistogramBytes); }
+
+LogHistogram::LogHistogram(const LogHistogram& other)
+    : counts_(other.counts_),
+      total_(other.total_),
+      min_(other.min_),
+      max_(other.max_) {
+  note_alloc(kHistogramBytes);
+}
+
+LogHistogram& LogHistogram::operator=(const LogHistogram& other) {
+  counts_ = other.counts_;
+  total_ = other.total_;
+  min_ = other.min_;
+  max_ = other.max_;
+  return *this;
+}
+
+std::size_t LogHistogram::index_of(std::int64_t v) {
+  if (v < kSub) return static_cast<std::size_t>(v < 0 ? 0 : v);
+  const int e = 63 - std::countl_zero(static_cast<std::uint64_t>(v));
+  const std::int64_t offset = (v >> (e - kSubBits)) - kSub;
+  return static_cast<std::size_t>(kSub) +
+         static_cast<std::size_t>(e - kSubBits) *
+             static_cast<std::size_t>(kSub) +
+         static_cast<std::size_t>(offset);
+}
+
+void LogHistogram::add(std::int64_t v) {
+  if (v < 0) v = 0;
+  ++counts_[index_of(v)];
+  if (total_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++total_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+  if (other.total_ > 0) {
+    min_ = total_ ? std::min(min_, other.min_) : other.min_;
+    max_ = total_ ? std::max(max_, other.max_) : other.max_;
+  }
+  total_ += other.total_;
+}
+
+std::int64_t LogHistogram::bucket_lower(std::int64_t v) const {
+  const std::size_t index = index_of(v < 0 ? 0 : v);
+  if (index < static_cast<std::size_t>(kSub))
+    return static_cast<std::int64_t>(index);
+  const std::size_t rest = index - static_cast<std::size_t>(kSub);
+  const int e = kSubBits + static_cast<int>(rest / static_cast<std::size_t>(kSub));
+  const std::int64_t offset =
+      static_cast<std::int64_t>(rest % static_cast<std::size_t>(kSub));
+  return (kSub + offset) << (e - kSubBits);
+}
+
+std::int64_t LogHistogram::bucket_width(std::int64_t v) const {
+  if (v < kSub) return 1;
+  const int e = 63 - std::countl_zero(static_cast<std::uint64_t>(v));
+  return std::int64_t{1} << (e - kSubBits);
+}
+
+std::int64_t LogHistogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::uint64_t target =
+      static_cast<std::uint64_t>(q * static_cast<double>(total_) + 0.5);
+  if (target < 1) target = 1;
+  if (target > total_) target = total_;
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    cum += counts_[i];
+    if (cum >= target) {
+      if (i < static_cast<std::size_t>(kSub))
+        return static_cast<std::int64_t>(i);
+      const std::size_t rest = i - static_cast<std::size_t>(kSub);
+      const int e =
+          kSubBits + static_cast<int>(rest / static_cast<std::size_t>(kSub));
+      const std::int64_t offset =
+          static_cast<std::int64_t>(rest % static_cast<std::size_t>(kSub));
+      return (kSub + offset) << (e - kSubBits);
+    }
+  }
+  return max_;
+}
+
+void LogHistogram::to_json(std::ostream& os) const {
+  os << "{\"count\":" << total_ << ",\"min\":" << min() << ",\"max\":" << max()
+     << ",\"p50\":" << quantile(0.50) << ",\"p90\":" << quantile(0.90)
+     << ",\"p99\":" << quantile(0.99) << "}";
+}
+
+// ------------------------------------------------------------------- TopK --
+
+TopK::TopK(std::size_t k) : k_(k) {
+  CESRM_CHECK_MSG(k >= 1, "TopK capacity must be at least 1");
+  note_alloc(k_ * kTopKEntryBytes);
+}
+
+TopK::~TopK() { note_free(k_ * kTopKEntryBytes); }
+
+void TopK::offer(std::int64_t key, std::uint64_t weight) {
+  if (auto it = entries_.find(key); it != entries_.end()) {
+    it->second.count += weight;
+    return;
+  }
+  if (entries_.size() < k_) {
+    entries_.emplace(key, Entry{key, weight, 0});
+    return;
+  }
+  // Space-Saving eviction: the minimum count loses; ties evict the largest
+  // key so the surviving set is a deterministic function of the offers.
+  auto victim = entries_.begin();
+  for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+    if (it->second.count < victim->second.count ||
+        (it->second.count == victim->second.count &&
+         it->first > victim->first))
+      victim = it;
+  }
+  const std::uint64_t inherited = victim->second.count;
+  entries_.erase(victim);
+  entries_.emplace(key, Entry{key, inherited + weight, inherited});
+}
+
+void TopK::merge(const TopK& other) {
+  // std::map iterates in ascending key order — the deterministic offer
+  // order the class contract promises.
+  for (const auto& [key, entry] : other.entries_) offer(key, entry.count);
+}
+
+std::vector<TopK::Entry> TopK::ranked() const {
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) out.push_back(entry);
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+void TopK::to_json(std::ostream& os) const {
+  os << '[';
+  bool first = true;
+  for (const Entry& e : ranked()) {
+    if (!first) os << ',';
+    first = false;
+    os << "{\"key\":" << e.key << ",\"count\":" << e.count
+       << ",\"error\":" << e.error << "}";
+  }
+  os << ']';
+}
+
+// -------------------------------------------------------- StreamingSketch --
+
+void StreamingSketch::fold(const TraceEvent& e) {
+  ++events_folded;
+  switch (e.kind) {
+    case EventKind::kExpSuccess:
+      expedited_latency_ns.add(e.aux);
+      recovery_latency_ns.add(e.aux);
+      break;
+    case EventKind::kExpFallback:
+    case EventKind::kRecovered:
+      recovery_latency_ns.add(e.aux);
+      break;
+    case EventKind::kRepairSent:
+      reply_wait_ns.add(e.aux);
+      break;
+    case EventKind::kPacketDropped:
+      drop_links.offer(e.node);
+      break;
+    case EventKind::kLossDetected:
+      loss_nodes.offer(e.node);
+      break;
+    default:
+      break;
+  }
+}
+
+void StreamingSketch::merge(const StreamingSketch& other) {
+  recovery_latency_ns.merge(other.recovery_latency_ns);
+  expedited_latency_ns.merge(other.expedited_latency_ns);
+  reply_wait_ns.merge(other.reply_wait_ns);
+  drop_links.merge(other.drop_links);
+  loss_nodes.merge(other.loss_nodes);
+  events_folded += other.events_folded;
+}
+
+void StreamingSketch::to_json(std::ostream& os) const {
+  os << "{\"events_folded\":" << events_folded << ",\"recovery_latency_ns\":";
+  recovery_latency_ns.to_json(os);
+  os << ",\"expedited_latency_ns\":";
+  expedited_latency_ns.to_json(os);
+  os << ",\"reply_wait_ns\":";
+  reply_wait_ns.to_json(os);
+  os << ",\"drop_links\":";
+  drop_links.to_json(os);
+  os << ",\"loss_nodes\":";
+  loss_nodes.to_json(os);
+  os << "}";
+}
+
+}  // namespace cesrm::obs

@@ -1,0 +1,138 @@
+// sketch.hpp — constant-memory streaming telemetry (ObsConfig::stream).
+//
+// Full event capture is O(events): a Table-1 run records hundreds of
+// thousands of TraceEvents, and the ROADMAP's 10⁵–10⁶-receiver sweeps
+// would record billions. Streaming mode folds each event into fixed-size
+// sketches instead and discards it:
+//
+//  * LogHistogram — an HDR-style log-bucketed histogram over non-negative
+//    int64 values (nanosecond latencies). 32 linear sub-buckets per
+//    power-of-two octave bound the relative quantile error at 1/32 per
+//    bucket; the geometry is fixed, so cross-job merges are plain
+//    bucket-wise adds and the merged result is independent of merge order.
+//  * TopK — deterministic Space-Saving heavy hitters (per-link drop
+//    counts). Evictions and the reported ranking break ties by key, so a
+//    sweep's merged top-k (merged strictly in job order, like
+//    MetricsRegistry) is byte-identical for any --jobs value.
+//  * StreamingSketch — the per-run bundle the TraceRecorder folds into:
+//    recovery-latency histograms (all / expedited), per-link dropped-
+//    packet heavy hitters, per-node loss heavy hitters.
+//
+// Every container tracks its allocation through sketch_note_alloc(), so
+// tests can assert the O(buckets) footprint: sketch_peak_bytes() is the
+// high-water mark of live sketch memory, independent of how many events
+// streamed through.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "obs/events.hpp"
+
+namespace cesrm::obs {
+
+/// Live/peak sketch allocation accounting (process-global, test hook).
+std::uint64_t sketch_live_bytes();
+std::uint64_t sketch_peak_bytes();
+void sketch_reset_peak();
+
+/// Log-bucketed histogram over values >= 0 (negatives clamp to 0).
+/// Geometry: values below 32 get exact unit buckets; above, each
+/// power-of-two octave splits into 32 linear sub-buckets, so any quantile
+/// is pinned to within one bucket width (<= 1/32 relative).
+class LogHistogram {
+ public:
+  static constexpr int kSubBits = 5;
+  static constexpr std::int64_t kSub = std::int64_t{1} << kSubBits;
+  /// Octaves [kSubBits, 62] of kSub sub-buckets each, on top of kSub unit
+  /// buckets for values below kSub.
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kSub) * (1 + (62 - kSubBits + 1));
+
+  LogHistogram();
+  ~LogHistogram();
+  LogHistogram(const LogHistogram& other);
+  LogHistogram& operator=(const LogHistogram& other);
+
+  void add(std::int64_t v);
+  /// Bucket-wise accumulation (fixed shared geometry — always mergeable).
+  void merge(const LogHistogram& other);
+
+  std::uint64_t total() const { return total_; }
+  std::int64_t min() const { return total_ ? min_ : 0; }
+  std::int64_t max() const { return total_ ? max_ : 0; }
+
+  /// The lower edge of the bucket holding the q-quantile (q in [0, 1]);
+  /// 0 when empty. Exact values land within bucket_width() of this.
+  std::int64_t quantile(double q) const;
+  /// Inclusive value range [lower, upper) of the bucket holding `v`.
+  std::int64_t bucket_lower(std::int64_t v) const;
+  std::int64_t bucket_width(std::int64_t v) const;
+
+  /// {"count":..,"min":..,"max":..,"p50":..,"p90":..,"p99":..} — quantile
+  /// values are bucket lower edges (deterministic, merge-order free).
+  void to_json(std::ostream& os) const;
+
+ private:
+  static std::size_t index_of(std::int64_t v);
+
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+};
+
+/// Deterministic Space-Saving top-k: at most `k` tracked keys; when full,
+/// a new key evicts the minimum-count entry (largest key on ties) and
+/// inherits its count as over-estimation error. Counts are exact while
+/// fewer than k distinct keys have been offered.
+class TopK {
+ public:
+  explicit TopK(std::size_t k);
+  ~TopK();
+
+  void offer(std::int64_t key, std::uint64_t weight = 1);
+  /// Offers every entry of `other` in ascending key order — the same
+  /// deterministic result regardless of how jobs were partitioned, as
+  /// long as merges happen in job order.
+  void merge(const TopK& other);
+
+  struct Entry {
+    std::int64_t key = 0;
+    std::uint64_t count = 0;  ///< upper bound: true count + error
+    std::uint64_t error = 0;  ///< max over-estimation inherited on evict
+  };
+  /// Entries by descending count, ascending key on ties.
+  std::vector<Entry> ranked() const;
+  std::size_t capacity() const { return k_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// [{"key":..,"count":..,"error":..}, ...] in ranked order.
+  void to_json(std::ostream& os) const;
+
+ private:
+  std::size_t k_;
+  std::map<std::int64_t, Entry> entries_;  ///< by key
+};
+
+/// Everything streaming mode keeps about a run: O(buckets + k), not
+/// O(events). Latencies come off the closing events' aux field (the
+/// recovery latency stamped by the agent), so no per-loss state is held.
+struct StreamingSketch {
+  LogHistogram recovery_latency_ns;   ///< all recovered losses
+  LogHistogram expedited_latency_ns;  ///< the kExpSuccess subset
+  LogHistogram reply_wait_ns;         ///< kRepairSent scheduling waits
+  TopK drop_links{16};                ///< kPacketDropped, key = link child
+  TopK loss_nodes{16};                ///< kLossDetected, key = detecting node
+  std::uint64_t events_folded = 0;
+
+  void fold(const TraceEvent& e);
+  /// Cross-job accumulation; call strictly in job order.
+  void merge(const StreamingSketch& other);
+  /// One JSON object with a section per sketch.
+  void to_json(std::ostream& os) const;
+};
+
+}  // namespace cesrm::obs

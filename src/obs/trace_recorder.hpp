@@ -18,10 +18,12 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
+#include "obs/sketch.hpp"
 
 namespace cesrm::obs {
 
@@ -32,20 +34,29 @@ struct ObsConfig {
   bool metrics = false;  ///< populate a MetricsSnapshot in the result
   bool profile = false;  ///< sim wall-time-per-sim-second profile (not
                          ///< exported: wall times are nondeterministic)
-  bool enabled() const { return trace || metrics || profile; }
+  bool stream = false;   ///< fold events into a constant-memory
+                         ///< StreamingSketch instead of (or alongside)
+                         ///< the full capture
+  bool enabled() const { return trace || metrics || profile || stream; }
 };
 
 class TraceRecorder {
  public:
-  explicit TraceRecorder(ObsConfig config) : config_(config) {}
+  explicit TraceRecorder(ObsConfig config) : config_(config) {
+    if (config_.stream) sketch_ = std::make_unique<StreamingSketch>();
+  }
 
   void emit(sim::SimTime at, EventKind kind, net::NodeId node,
             net::NodeId source = net::kInvalidNode,
             net::SeqNo seq = net::kNoSeq,
-            net::NodeId peer = net::kInvalidNode, std::int64_t detail = 0) {
+            net::NodeId peer = net::kInvalidNode, std::int64_t detail = 0,
+            std::int64_t aux = 0) {
     ++counts_[static_cast<std::size_t>(kind)];
-    if (config_.trace)
-      events_.push_back(TraceEvent{at, kind, node, source, seq, peer, detail});
+    if (config_.trace || sketch_) {
+      const TraceEvent e{at, kind, node, source, seq, peer, detail, aux};
+      if (sketch_) sketch_->fold(e);
+      if (config_.trace) events_.push_back(e);
+    }
   }
 
   const ObsConfig& config() const { return config_; }
@@ -57,11 +68,15 @@ class TraceRecorder {
   }
   const std::vector<TraceEvent>& events() const { return events_; }
   std::vector<TraceEvent> take_events() { return std::move(events_); }
+  /// Null unless config().stream.
+  const StreamingSketch* sketch() const { return sketch_.get(); }
+  std::unique_ptr<StreamingSketch> take_sketch() { return std::move(sketch_); }
 
  private:
   ObsConfig config_;
   std::array<std::uint64_t, kEventKindCount> counts_{};
   std::vector<TraceEvent> events_;
+  std::unique_ptr<StreamingSketch> sketch_;
 };
 
 }  // namespace cesrm::obs

@@ -429,8 +429,10 @@ void SrmAgent::mark_received(const net::Packet& via) {
       } else if (want.exp_timer && !want.exp_timer->armed()) {
         kind = obs::EventKind::kExpFallback;
       }
+      // aux carries the recovery latency so streaming consumers can fold
+      // latency percentiles from the closing event alone.
       recorder->emit(sim_.now(), kind, self_, via.source, seq, via.sender,
-                     rec.rounds);
+                     rec.rounds, (sim_.now() - want.detect_time).ns());
     }
     if (want.exp_timer && want.exp_timer->armed())
       ++stats_.exp_requests_cancelled;
@@ -605,8 +607,10 @@ void SrmAgent::reply_timer_fired(net::NodeId source, net::SeqNo seq) {
   ann.dist_replier_requestor = distance_to(rs.requestor);
   ++stats_.replies_sent;
   if (auto* rec = sim_.recorder())
+    // aux: how long the reply sat in its suppression timer (§2.2 wait).
     rec->emit(sim_.now(), obs::EventKind::kRepairSent, self_, source, seq,
-              rs.requestor);
+              rs.requestor, /*detail=*/0,
+              (sim_.now() - rs.request_arrival).ns());
   if (rep_ctrl_) {
     // Our reply went out undisturbed: a duplicate-free event, plus a delay
     // sample (scheduling delay in units of d̂hh').

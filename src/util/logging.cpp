@@ -4,6 +4,8 @@
 #include <iostream>
 #include <mutex>
 
+#include "util/enum_names.hpp"
+
 namespace cesrm::util {
 
 namespace {
@@ -12,6 +14,15 @@ namespace {
 // and the mutex keeps emitted lines whole (never torn mid-line).
 std::atomic<LogLevel> g_threshold{LogLevel::kWarn};
 std::mutex g_emit_mutex;
+
+constexpr EnumNames<LogLevel, 6> kLogLevelNames{
+    "log level",
+    {{{LogLevel::kTrace, "trace"},
+      {LogLevel::kDebug, "debug"},
+      {LogLevel::kInfo, "info"},
+      {LogLevel::kWarn, "warn"},
+      {LogLevel::kError, "error"},
+      {LogLevel::kOff, "off"}}}};
 }
 
 LogLevel log_threshold() { return g_threshold.load(std::memory_order_relaxed); }
@@ -20,14 +31,14 @@ void set_log_threshold(LogLevel level) {
 }
 
 LogLevel parse_log_level(const std::string& name) {
-  if (name == "trace") return LogLevel::kTrace;
-  if (name == "debug") return LogLevel::kDebug;
-  if (name == "info") return LogLevel::kInfo;
-  if (name == "warn") return LogLevel::kWarn;
-  if (name == "error") return LogLevel::kError;
-  if (name == "off") return LogLevel::kOff;
-  return LogLevel::kWarn;
+  return kLogLevelNames.try_parse(name).value_or(LogLevel::kWarn);
 }
+
+std::optional<LogLevel> try_parse_log_level(const std::string& name) {
+  return kLogLevelNames.try_parse(name);
+}
+
+std::string log_level_spellings() { return kLogLevelNames.joined_names(); }
 
 const char* log_level_name(LogLevel level) {
   switch (level) {

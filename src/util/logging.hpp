@@ -8,6 +8,7 @@
 // each other's lines.
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -21,6 +22,14 @@ void set_log_threshold(LogLevel level);
 
 /// Parses "trace"/"debug"/"info"/"warn"/"error"/"off"; defaults to kWarn.
 LogLevel parse_log_level(const std::string& name);
+
+/// Strict parse: nullopt on an unknown spelling, so CLI front-ends can
+/// name the flag and list log_level_spellings() instead of silently
+/// falling back to kWarn.
+std::optional<LogLevel> try_parse_log_level(const std::string& name);
+
+/// "trace, debug, info, warn, error, off" — for flag help and errors.
+std::string log_level_spellings();
 
 const char* log_level_name(LogLevel level);
 

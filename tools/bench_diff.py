@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Diff two bench --json artifacts and fail on regressions.
+
+Both files follow the bench JSON shape:
+
+    {"schema": "...", "config": {...},
+     "metrics": {NAME: {"value": F, "unit": S, "better": "higher"|"lower"}}}
+
+For every metric present in BOTH files the relative change is computed
+from baseline to candidate; a change in the metric's *worse* direction
+(per its "better" field) beyond --threshold (default 0.25 = 25%) is a
+regression. Metrics present in only one file are reported but never
+fatal — benches grow metrics over time. Exit status: 0 = no regression,
+1 = at least one regression, 2 = usage/parse error.
+
+Usage:
+    tools/bench_diff.py baseline.json candidate.json [--threshold=0.25]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        sys.exit(f"bench_diff: cannot read {path}: {e}")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        sys.exit(f"bench_diff: {path}: no \"metrics\" object")
+    return doc, metrics
+
+
+def main():
+    ap = argparse.ArgumentParser(
+        description="Compare two bench --json artifacts metric-by-metric.")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--threshold", type=float, default=0.25,
+                    help="relative worsening that counts as a regression "
+                         "(default 0.25 = 25%%)")
+    args = ap.parse_args()
+
+    base_doc, base = load(args.baseline)
+    cand_doc, cand = load(args.candidate)
+    if base_doc.get("schema") != cand_doc.get("schema"):
+        print(f"note: schemas differ ({base_doc.get('schema')} vs "
+              f"{cand_doc.get('schema')}); comparing shared metrics anyway")
+
+    regressions = 0
+    width = max((len(n) for n in base if n in cand), default=10)
+    for name in sorted(set(base) | set(cand)):
+        if name not in base or name not in cand:
+            only = args.candidate if name in cand else args.baseline
+            print(f"{name:<{width}}  only in {only}")
+            continue
+        b, c = base[name], cand[name]
+        bv, cv = b.get("value"), c.get("value")
+        if not isinstance(bv, (int, float)) or not isinstance(cv, (int, float)):
+            sys.exit(f"bench_diff: metric {name}: non-numeric value")
+        better = b.get("better", "higher")
+        if better not in ("higher", "lower"):
+            sys.exit(f"bench_diff: metric {name}: bad \"better\": {better!r}")
+        if bv == 0:
+            change = 0.0 if cv == 0 else float("inf")
+        else:
+            change = (cv - bv) / abs(bv)
+        # Positive `worse` means the candidate moved in the bad direction.
+        worse = -change if better == "higher" else change
+        verdict = "ok"
+        if worse > args.threshold:
+            verdict = "REGRESSION"
+            regressions += 1
+        elif worse < -args.threshold:
+            verdict = "improved"
+        unit = b.get("unit", "")
+        print(f"{name:<{width}}  {bv:>14.6g} -> {cv:>14.6g} {unit:<10} "
+              f"{change:+8.1%}  {verdict}")
+
+    if regressions:
+        print(f"bench_diff: {regressions} regression(s) beyond "
+              f"{args.threshold:.0%}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

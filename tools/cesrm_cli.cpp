@@ -39,12 +39,27 @@
 //       Strict validation: every frame must decode and re-encode to the
 //       identical bytes (the canonical round-trip). Exit 0 = clean,
 //       1 = I/O error, 2 = malformed or non-canonical.
+//
+//   explain   --in=FILE.jsonl [--loss=SRC,SEQ] [--top=N]
+//       Recovery forensics on a recorded JSONL event trace (--trace-out of
+//       a bench or simulate/compare): for the named loss — or the N
+//       slowest recoveries — print the causal chain with its latency
+//       attributed to named phases (backoff, request/reply wait, transit).
+//       Phase durations sum exactly to the recovery latency.
+//
+//   analyze   --in=FILE.jsonl [--json=FILE]
+//       Whole-trace forensics: reconciliation totals, latency medians, and
+//       the anomaly report (request/reply implosion, zombie recoveries,
+//       cache inversions, tail outliers). --json writes the full
+//       machine-readable causal report.
 
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 
 #include <functional>
 #include <optional>
+#include <span>
 
 #include "durable/store.hpp"
 #include "harness/experiment.hpp"
@@ -54,7 +69,9 @@
 #include "infer/link_trace.hpp"
 #include "infer/minc_estimator.hpp"
 #include "lms/lms_agent.hpp"
+#include "obs/causal.hpp"
 #include "obs/export.hpp"
+#include "obs/jsonl.hpp"
 #include "trace/catalog.hpp"
 #include "trace/serialization.hpp"
 #include "trace/trace_generator.hpp"
@@ -221,7 +238,15 @@ std::optional<harness::ExperimentConfig> config_from_flags(
   cfg.durable.mode = *durable_mode;
   cfg.cesrm.srm.adaptive_timers = flags.get_bool("adaptive");
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed"));
-  cfg.observe.trace = !flags.get_string("trace-out").empty();
+  const std::string trace_out = flags.get_string("trace-out");
+  if (!trace_out.empty() && !trace_out.ends_with(".json") &&
+      !trace_out.ends_with(".jsonl")) {
+    std::cerr << "bad --trace-out: '" << trace_out
+              << "' (want a .json path for Chrome trace_event format or "
+                 ".jsonl for one event per line)\n";
+    return std::nullopt;
+  }
+  cfg.observe.trace = !trace_out.empty();
   cfg.observe.metrics = !flags.get_string("metrics-out").empty();
   return cfg;
 }
@@ -592,6 +617,210 @@ int cmd_wire_check(const util::CliFlags& flags) {
   return 0;
 }
 
+// ------------------------------------------------------ forensics ------
+
+// Loads the JSONL event trace named by --in; false (after a friendly
+// message) when the file is missing, not .jsonl, or malformed.
+bool load_jsonl_events(const util::CliFlags& flags, const char* cmd,
+                       std::vector<obs::TraceEvent>* out) {
+  const std::string path = flags.get_string("in");
+  if (path.empty()) {
+    std::cerr << cmd << ": --in=FILE.jsonl is required (record one with "
+                 "--trace-out=FILE.jsonl on a bench or simulate/compare)\n";
+    return false;
+  }
+  if (!path.ends_with(".jsonl")) {
+    std::cerr << cmd << ": '" << path
+              << "' is not a .jsonl trace (forensics read the JSONL "
+                 "format; Chrome traces are for the viewer)\n";
+    return false;
+  }
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << cmd << ": could not read '" << path << "'\n";
+    return false;
+  }
+  auto parsed = obs::read_events_jsonl(in);
+  if (!parsed.ok) {
+    std::cerr << cmd << ": " << path << " line " << parsed.error_line << ": "
+              << parsed.error << "\n";
+    return false;
+  }
+  if (parsed.events.empty()) {
+    std::cerr << cmd << ": '" << path << "' holds no events\n";
+    return false;
+  }
+  *out = std::move(parsed.events);
+  return true;
+}
+
+// A JSONL artifact concatenates one stream per experiment job, each
+// starting over at sim-time ~0; analyze_causal expects ONE run. Split at
+// every time regression so each job is analyzed against its own clock.
+std::vector<std::span<const obs::TraceEvent>> split_jobs(
+    const std::vector<obs::TraceEvent>& events) {
+  std::vector<std::span<const obs::TraceEvent>> jobs;
+  std::size_t start = 0;
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    if (events[i].at < events[i - 1].at) {
+      jobs.push_back(std::span(events).subspan(start, i - start));
+      start = i;
+    }
+  }
+  jobs.push_back(std::span(events).subspan(start));
+  return jobs;
+}
+
+// One recovery, fully attributed: the header line plus a per-phase
+// breakdown whose durations provably sum to the recovery latency.
+void print_chain(const obs::CausalChain& c, int job, bool multi_job) {
+  const obs::LossLifecycle& lc = c.lifecycle;
+  if (multi_job) std::cout << "[job " << job << "] ";
+  std::cout << "loss " << lc.source << ':' << lc.seq << " at node " << lc.node
+            << " — " << util::fmt_fixed(
+                   static_cast<double>(c.latency_ns) / 1e6, 3)
+            << " ms (" << (lc.expedited ? "expedited" : "reactive");
+  if (c.cache == obs::CacheConsult::kHit)
+    std::cout << ", cache hit";
+  else if (c.cache == obs::CacheConsult::kMiss)
+    std::cout << ", cache miss";
+  std::cout << "), repair from node " << c.replier << "\n"
+            << "  detected at "
+            << util::fmt_fixed(lc.detect_time.to_millis(), 3) << " ms; own: "
+            << lc.requests << " requests, " << lc.suppressions
+            << " suppressions; group-wide: " << c.group_requests
+            << " requests, " << c.group_replies << " repairs\n";
+  for (std::size_t p = 0; p < obs::kPhaseCount; ++p) {
+    if (c.phase_ns[p] == 0) continue;
+    const double ms = static_cast<double>(c.phase_ns[p]) / 1e6;
+    const double pct = c.latency_ns > 0
+                           ? 100.0 * static_cast<double>(c.phase_ns[p]) /
+                                 static_cast<double>(c.latency_ns)
+                           : 0.0;
+    std::cout << "    " << obs::phase_name(static_cast<obs::Phase>(p));
+    for (std::size_t pad =
+             std::char_traits<char>::length(
+                 obs::phase_name(static_cast<obs::Phase>(p)));
+         pad < 16; ++pad)
+      std::cout << ' ';
+    std::cout << util::fmt_fixed(ms, 3) << " ms  ("
+              << util::fmt_fixed(pct, 1) << "%)\n";
+  }
+}
+
+int cmd_explain(const util::CliFlags& flags) {
+  std::vector<obs::TraceEvent> events;
+  if (!load_jsonl_events(flags, "explain", &events)) return 1;
+  const auto jobs = split_jobs(events);
+  std::vector<obs::CausalReport> reports;
+  reports.reserve(jobs.size());
+  for (const auto& job : jobs) reports.push_back(obs::analyze_causal(job));
+  const bool multi = reports.size() > 1;
+
+  const std::string loss = flags.get_string("loss");
+  if (!loss.empty()) {
+    const auto parts = util::split(loss, ',');
+    std::optional<std::int64_t> src, seq;
+    if (parts.size() == 2) {
+      src = util::parse_int(parts[0]);
+      seq = util::parse_int(parts[1]);
+    }
+    if (!src || !seq) {
+      std::cerr << "explain: bad --loss '" << loss
+                << "' (want --loss=SOURCE,SEQ, e.g. --loss=0,1234)\n";
+      return 1;
+    }
+    bool found = false;
+    for (std::size_t j = 0; j < reports.size(); ++j) {
+      for (const obs::CausalChain& c : reports[j].chains) {
+        if (c.lifecycle.source != *src || c.lifecycle.seq != *seq) continue;
+        print_chain(c, static_cast<int>(j), multi);
+        found = true;
+      }
+    }
+    if (!found) {
+      std::cerr << "explain: no recovered loss " << *src << ':' << *seq
+                << " in the trace\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // No --loss: the N slowest recoveries across all jobs, slowest first.
+  const std::int64_t top = flags.get_int("top");
+  std::vector<std::pair<int, const obs::CausalChain*>> slowest;
+  std::uint64_t recovered = 0;
+  for (std::size_t j = 0; j < reports.size(); ++j) {
+    recovered += reports[j].timeline.recovered;
+    for (const obs::CausalChain& c : reports[j].chains)
+      slowest.emplace_back(static_cast<int>(j), &c);
+  }
+  std::stable_sort(slowest.begin(), slowest.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second->latency_ns > b.second->latency_ns;
+                   });
+  if (top > 0 && static_cast<std::size_t>(top) < slowest.size())
+    slowest.resize(static_cast<std::size_t>(top));
+  std::cout << recovered << " recoveries in the trace; " << slowest.size()
+            << " slowest:\n\n";
+  for (const auto& [job, c] : slowest) print_chain(*c, job, multi);
+  return 0;
+}
+
+int cmd_analyze(const util::CliFlags& flags) {
+  std::vector<obs::TraceEvent> events;
+  if (!load_jsonl_events(flags, "analyze", &events)) return 1;
+  const auto jobs = split_jobs(events);
+  std::vector<obs::CausalReport> reports;
+  reports.reserve(jobs.size());
+  for (const auto& job : jobs) reports.push_back(obs::analyze_causal(job));
+
+  for (std::size_t j = 0; j < reports.size(); ++j) {
+    const obs::CausalReport& report = reports[j];
+    const obs::RecoveryTimeline& tl = report.timeline;
+    if (reports.size() > 1) std::cout << "== job " << j << " ==\n";
+    std::cout << "losses:      " << tl.losses << " detected, " << tl.recovered
+              << " recovered, " << tl.unrecovered << " open, " << tl.abandoned
+              << " abandoned at crashes\n"
+              << "expedited:   " << tl.expedited_successes << " of "
+              << tl.recovered << " recoveries\n"
+              << "latency:     median "
+              << util::fmt_fixed(
+                     static_cast<double>(report.median_latency_ns) / 1e6, 3)
+              << " ms (reactive median "
+              << util::fmt_fixed(
+                     static_cast<double>(report.median_reactive_latency_ns) /
+                         1e6, 3)
+              << " ms)\n"
+              << "anomalies:   " << report.anomalies.size() << "\n";
+    for (const obs::Anomaly& a : report.anomalies)
+      std::cout << "  [" << obs::anomaly_kind_name(a.kind) << "] loss "
+                << a.source << ':' << a.seq << " at node " << a.node << ": "
+                << a.note << "\n";
+    if (j + 1 < reports.size()) std::cout << "\n";
+  }
+
+  // The machine-readable report is always an array — one causal report per
+  // job segment — so consumers need not care how many jobs the file held.
+  const std::string json_path = flags.get_string("json");
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "error: could not write " << json_path << "\n";
+      return 1;
+    }
+    out << "[";
+    for (std::size_t j = 0; j < reports.size(); ++j) {
+      if (j > 0) out << ",";
+      out << "\n";
+      obs::write_causal_report_json(out, reports[j]);
+    }
+    out << "]\n";
+    std::cerr << "wrote " << json_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -629,13 +858,23 @@ int main(int argc, char** argv) {
                    "log threshold: trace|debug|info|warn|error|off");
   flags.add_int("count", 100, "frames to generate for 'wire-gen'");
   flags.add_int("max", 0, "max frames to print for 'wire-dump' (0 = all)");
+  flags.add_string("loss", "",
+                   "loss to explain as SOURCE,SEQ (default: slowest "
+                   "recoveries)");
+  flags.add_int("top", 10, "how many slowest recoveries 'explain' prints");
   if (!flags.parse(argc, argv)) return 1;
-  util::set_log_threshold(
-      util::parse_log_level(flags.get_string("log-level")));
+  const auto log_level = util::try_parse_log_level(flags.get_string("log-level"));
+  if (!log_level) {
+    std::cerr << "bad --log-level: '" << flags.get_string("log-level")
+              << "' (valid: " << util::log_level_spellings() << ")\n";
+    return 1;
+  }
+  util::set_log_threshold(*log_level);
 
   if (flags.positional().size() != 1) {
     std::cerr << "usage: cesrm_cli <generate|inspect|estimate|simulate|"
-                 "compare|wire-gen|wire-dump|wire-check> [flags]\n"
+                 "compare|explain|analyze|wire-gen|wire-dump|wire-check> "
+                 "[flags]\n"
               << flags.usage();
     return 1;
   }
@@ -646,6 +885,8 @@ int main(int argc, char** argv) {
     if (cmd == "estimate") return cmd_estimate(flags);
     if (cmd == "simulate") return cmd_simulate(flags);
     if (cmd == "compare") return cmd_compare(flags);
+    if (cmd == "explain") return cmd_explain(flags);
+    if (cmd == "analyze") return cmd_analyze(flags);
     if (cmd == "wire-gen") return cmd_wire_gen(flags);
     if (cmd == "wire-dump") return cmd_wire_dump(flags);
     if (cmd == "wire-check") return cmd_wire_check(flags);
