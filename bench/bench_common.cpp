@@ -2,6 +2,7 @@
 
 #include <fstream>
 #include <iostream>
+#include <sstream>
 
 #include "infer/link_estimator.hpp"
 #include "util/logging.hpp"
@@ -25,6 +26,9 @@ void add_common_flags(util::CliFlags& flags,
   flags.add_bool("wire-bytes", false,
                  "also report overhead in encoded wire bytes (v1 codec "
                  "frame sizes; bench_fig5_overhead)");
+  flags.add_bool("mem", false,
+                 "sample peak RSS (VmHWM) after the sweep and emit a "
+                 "\"mem\" object into the --json artifact");
   flags.add_string("trace-out", "",
                    "write the protocol-event trace here (Chrome trace_event "
                    "JSON; JSONL when the path ends in .jsonl)");
@@ -74,6 +78,7 @@ bool read_common_flags(const util::CliFlags& flags, BenchOptions* out) {
   out->jobs = static_cast<unsigned>(jobs);
   out->json_path = flags.get_string("json");
   out->wire_bytes = flags.get_bool("wire-bytes");
+  out->mem = flags.get_bool("mem");
   out->base.seed = out->seed;
   out->base.network.link_delay = sim::SimTime::millis(out->link_delay_ms);
   out->base.lossy_recovery = flags.get_bool("lossy-recovery");
@@ -328,12 +333,45 @@ void print_header(const std::string& what, const BenchOptions& opts) {
   std::cout << "\n\n";
 }
 
+std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::uint64_t kb = 0;
+    fields >> kb;
+    return kb * 1024;
+  }
+  return 0;
+}
+
 void write_json(const BenchOptions& opts,
                 const harness::JsonResultSink& sink) {
   if (opts.json_path.empty()) return;
-  if (sink.write_file(opts.json_path)) {
+  if (!opts.mem) {
+    if (sink.write_file(opts.json_path)) {
+      std::cerr << "wrote " << sink.size() << " results to " << opts.json_path
+                << "\n";
+    } else {
+      std::cerr << "error: could not write " << opts.json_path << "\n";
+    }
+    return;
+  }
+  // --mem: splice a "mem" object in front of the document's closing brace
+  // so the artifact stays one JSON value.
+  std::string doc = sink.document();
+  const std::size_t close = doc.rfind('}');
+  if (close != std::string::npos) {
+    std::string mem = ",\"mem\":{\"peak_rss_bytes\":";
+    mem += std::to_string(peak_rss_bytes());
+    mem += "}";
+    doc.insert(close, mem);
+  }
+  std::ofstream out(opts.json_path);
+  if (out && (out << doc)) {
     std::cerr << "wrote " << sink.size() << " results to " << opts.json_path
-              << "\n";
+              << " (with mem)\n";
   } else {
     std::cerr << "error: could not write " << opts.json_path << "\n";
   }

@@ -100,6 +100,10 @@ struct BenchOptions {
   /// report overhead in encoded wire bytes (the v1 codec frame sizes).
   /// Off by default — default stdout stays byte-identical.
   bool wire_bytes = false;
+  /// --mem: sample the process peak RSS (Linux VmHWM) after the sweep and
+  /// emit a "mem" object into the --json artifact. Off by default so the
+  /// default artifact bytes are unchanged.
+  bool mem = false;
   harness::ExperimentConfig base;  // assembled from the flags
   /// Non-null when --trace-out/--metrics-out/--stream-out asked for
   /// artifacts; shared so run_jobs can accumulate through the const
@@ -116,6 +120,11 @@ struct BenchOptions {
 /// --slo, so default bench output stays byte-identical. Benches end their
 /// main with `return slo_exit(opts);`.
 int slo_exit(const BenchOptions& opts);
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status). Returns 0 when the field is unavailable (non-Linux
+/// hosts), so callers can gate emission on a non-zero reading.
+std::uint64_t peak_rss_bytes();
 
 /// Registers the common flags on `flags`.
 void add_common_flags(util::CliFlags& flags, const std::string& default_traces);

@@ -67,6 +67,15 @@ struct ExperimentConfig {
   /// compile down to a null-pointer check and the run's behaviour and
   /// output are identical to a build without the obs subsystem).
   obs::ObsConfig observe;
+  /// Intra-run parallelism: 0 (default) runs the classic single-threaded
+  /// simulator, byte-identical to every previous release; N >= 1 shards
+  /// the tree over N event queues driven by N threads under conservative
+  /// link-delay lookahead windows (sim::ShardedEngine). Sharded results
+  /// and artifacts are deterministic and identical for EVERY N >= 1 —
+  /// shards=1 is the reference the invariance tests compare against.
+  /// Restrictions (CHECKed): no lossy_recovery, no durability, no
+  /// profiling, and fault plans limited to crash/recover clauses.
+  int shards = 0;
 };
 
 /// Per-member outcome. Members are ordered source first, then receivers

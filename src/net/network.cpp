@@ -21,7 +21,7 @@ Network::Network(sim::Simulator& sim, const MulticastTree& tree,
       config_(config),
       agents_(tree.size(), nullptr),
       busy_(tree.size(), {sim::SimTime::zero(), sim::SimTime::zero()}),
-      link_up_(tree.size(), true) {
+      link_up_(tree.size(), 1) {
   CESRM_CHECK(config_.link_bandwidth_bps > 0.0);
   CESRM_CHECK(config_.link_delay >= sim::SimTime::zero());
 }
@@ -38,12 +38,39 @@ void Network::attach(NodeId node, Agent* agent) {
 void Network::set_link_up(LinkId link, bool up) {
   CESRM_CHECK_MSG(link > 0 && static_cast<std::size_t>(link) < link_up_.size(),
                   "not a link (child endpoint): " << link);
-  link_up_[static_cast<std::size_t>(link)] = up;
+  link_up_[static_cast<std::size_t>(link)] = up ? 1 : 0;
 }
 
 bool Network::link_up(LinkId link) const {
   CESRM_CHECK(link >= 0 && static_cast<std::size_t>(link) < link_up_.size());
-  return link_up_[static_cast<std::size_t>(link)];
+  return link_up_[static_cast<std::size_t>(link)] != 0;
+}
+
+void Network::enable_sharding(sim::ShardedEngine* engine) {
+  CESRM_CHECK(engine != nullptr);
+  CESRM_CHECK_MSG(perturb_fn_ == nullptr,
+                  "perturbation hook is not supported in sharded mode");
+  CESRM_CHECK_MSG(engine->lookahead() <= config_.link_delay,
+                  "engine lookahead exceeds the link delay");
+  engine_ = engine;
+  shard_stats_.assign(static_cast<std::size_t>(engine->shards()),
+                      CrossingStats{});
+  shard_ser_.assign(static_cast<std::size_t>(engine->shards()), {});
+}
+
+CrossingStats Network::total_crossings() const {
+  CrossingStats total = stats_;
+  for (const CrossingStats& s : shard_stats_) {
+    for (std::size_t i = 0; i < kPacketTypeCount; ++i) {
+      total.multicast[i] += s.multicast[i];
+      total.unicast[i] += s.unicast[i];
+      total.subcast[i] += s.subcast[i];
+      total.dropped[i] += s.dropped[i];
+      total.duplicated[i] += s.duplicated[i];
+      total.wire_bytes[i] += s.wire_bytes[i];
+    }
+  }
+  return total;
 }
 
 sim::SimTime& Network::busy_until(NodeId from, NodeId to) {
@@ -58,18 +85,22 @@ sim::SimTime Network::serialization_time(int size_bytes) {
   if (!config_.model_bandwidth || size_bytes <= 0) return sim::SimTime::zero();
   // A sweep sees only a handful of distinct sizes (payload and control),
   // so a tiny linear-scan memo beats recomputing the division + rounding
-  // on every hop of every packet.
-  for (const auto& [size, tx] : ser_cache_)
+  // on every hop of every packet. Sharded runs memoize per shard — the
+  // memo is mutable and each shard only ever consults its own.
+  auto& cache = engine_ ? shard_ser_[static_cast<std::size_t>(
+                              engine_->current_shard())]
+                        : ser_cache_;
+  for (const auto& [size, tx] : cache)
     if (size == size_bytes) return tx;
   const sim::SimTime tx = sim::SimTime::from_seconds(
       static_cast<double>(size_bytes) * 8.0 / config_.link_bandwidth_bps);
-  ser_cache_.emplace_back(size_bytes, tx);
+  cache.emplace_back(size_bytes, tx);
   return tx;
 }
 
 sim::SimTime Network::transmit(NodeId from, NodeId to, int size_bytes) {
   sim::SimTime& busy = busy_until(from, to);
-  const sim::SimTime start = std::max(sim_.now(), busy);
+  const sim::SimTime start = std::max(cur_sim().now(), busy);
   const sim::SimTime tx = serialization_time(size_bytes);
   busy = start + tx;
   return start + tx + config_.link_delay;
@@ -81,13 +112,13 @@ bool Network::crossing_lost(const Packet& pkt, NodeId from, NodeId to) {
   // in either direction.
   const LinkId link = tree_.parent(to) == from ? to : from;
   if (!link_up_[static_cast<std::size_t>(link)]) {
-    ++stats_.dropped[type_idx];
-    record_drop(sim_, pkt, from, to);
+    ++cur_stats().dropped[type_idx];
+    record_drop(cur_sim(), pkt, from, to);
     return true;
   }
   if (drop_fn_ && drop_fn_(pkt, from, to)) {
-    ++stats_.dropped[type_idx];
-    record_drop(sim_, pkt, from, to);
+    ++cur_stats().dropped[type_idx];
+    record_drop(cur_sim(), pkt, from, to);
     return true;
   }
   return false;
@@ -96,12 +127,13 @@ bool Network::crossing_lost(const Packet& pkt, NodeId from, NodeId to) {
 void Network::send_hop(NodeId from, NodeId to, const PacketRef& pkt,
                        Mode mode) {
   const auto type_idx = static_cast<std::size_t>(pkt->type);
+  CrossingStats& stats = cur_stats();
   switch (mode) {
-    case Mode::kMulticast: ++stats_.multicast[type_idx]; break;
-    case Mode::kUnicast: ++stats_.unicast[type_idx]; break;
-    case Mode::kSubcast: ++stats_.subcast[type_idx]; break;
+    case Mode::kMulticast: ++stats.multicast[type_idx]; break;
+    case Mode::kUnicast: ++stats.unicast[type_idx]; break;
+    case Mode::kSubcast: ++stats.subcast[type_idx]; break;
   }
-  stats_.wire_bytes[type_idx] += pkt->encoded_size();
+  stats.wire_bytes[type_idx] += pkt->encoded_size();
   if (crossing_lost(*pkt, from, to)) return;
   sim::SimTime arrival = transmit(from, to, pkt->size_bytes);
   if (perturb_fn_) {
@@ -109,16 +141,22 @@ void Network::send_hop(NodeId from, NodeId to, const PacketRef& pkt,
     CESRM_CHECK(p.extra_delay >= sim::SimTime::zero());
     arrival += p.extra_delay;
     if (p.duplicate) {
-      ++stats_.duplicated[type_idx];
+      ++stats.duplicated[type_idx];
       const sim::SimTime dup_arrival = transmit(from, to, pkt->size_bytes);
       sim_.schedule_at(dup_arrival, [this, from, to, pkt, mode] {
         arrive(to, from, pkt, mode);
       });
     }
   }
-  sim_.schedule_at(arrival, [this, from, to, pkt, mode] {
-    arrive(to, from, pkt, mode);
-  });
+  if (engine_) {
+    engine_->schedule_from(from, to, arrival, [this, from, to, pkt, mode] {
+      arrive(to, from, pkt, mode);
+    });
+  } else {
+    sim_.schedule_at(arrival, [this, from, to, pkt, mode] {
+      arrive(to, from, pkt, mode);
+    });
+  }
 }
 
 void Network::arrive(NodeId at, NodeId came_from, const PacketRef& pkt,
@@ -177,13 +215,37 @@ void Network::unicast(NodeId from, const Packet& pkt) {
   const auto ref = std::make_shared<const Packet>(pkt);
   if (from == pkt.dest) {
     // Degenerate self-send: deliver after zero hops at the next tick.
-    sim_.schedule_in(sim::SimTime::zero(), [this, from, ref] {
+    // Always same-shard, so the sharded branch only differs in the tag.
+    auto deliver = [this, from, ref] {
       if (Agent* agent = agents_[static_cast<std::size_t>(from)])
         agent->on_packet(*ref);
-    });
+    };
+    if (engine_)
+      engine_->schedule_from(from, from, cur_sim().now(), std::move(deliver));
+    else
+      sim_.schedule_in(sim::SimTime::zero(), std::move(deliver));
     return;
   }
   send_hop(from, tree_.next_hop_toward(from, pkt.dest), ref, Mode::kUnicast);
+}
+
+void Network::leg_hop(NodeId cur, NodeId router, const PacketRef& pkt) {
+  const NodeId next = tree_.next_hop_toward(cur, router);
+  CESRM_CHECK(next != kInvalidNode);
+  const auto type_idx = static_cast<std::size_t>(pkt->type);
+  CrossingStats& stats = cur_stats();
+  ++stats.unicast[type_idx];
+  stats.wire_bytes[type_idx] += pkt->encoded_size();
+  if (crossing_lost(*pkt, cur, next)) return;  // leg lost: no subcast
+  const sim::SimTime arrival = transmit(cur, next, pkt->size_bytes);
+  engine_->schedule_from(cur, next, arrival, [this, next, router, pkt] {
+    if (next == router) {
+      for (NodeId c : tree_.children(router))
+        send_hop(router, c, pkt, Mode::kSubcast);
+    } else {
+      leg_hop(next, router, pkt);
+    }
+  });
 }
 
 void Network::unicast_subcast(NodeId from, NodeId router, const Packet& pkt) {
@@ -192,10 +254,22 @@ void Network::unicast_subcast(NodeId from, NodeId router, const Packet& pkt) {
   const auto ref = std::make_shared<const Packet>(pkt);
   if (from == router) {
     // Already at the turning point: subcast immediately.
-    sim_.schedule_in(sim::SimTime::zero(), [this, router, ref] {
+    auto fanout = [this, router, ref] {
       for (NodeId c : tree_.children(router))
         send_hop(router, c, ref, Mode::kSubcast);
-    });
+    };
+    if (engine_)
+      engine_->schedule_from(from, from, cur_sim().now(), std::move(fanout));
+    else
+      sim_.schedule_in(sim::SimTime::zero(), std::move(fanout));
+    return;
+  }
+  if (engine_) {
+    // Sharded: the synchronous leg walk below would mutate busy horizons
+    // owned by other shards mid-window; chain the leg as real hop events
+    // instead (same per-hop accounting, queueing applied at each hop's
+    // actual local time).
+    leg_hop(from, router, ref);
     return;
   }
   // Unicast leg to the router, then fan out downstream. When the leg

@@ -32,6 +32,7 @@
 
 #include "net/packet.hpp"
 #include "net/topology.hpp"
+#include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 
 namespace cesrm::net {
@@ -113,6 +114,19 @@ class Network {
   /// Installs the per-crossing loss decision; nullptr = lossless.
   void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
 
+  /// Switches the network onto a sharded parallel engine: every hop event
+  /// is scheduled through the engine with a deterministic ⟨origin node,
+  /// counter⟩ tag (same-shard locally, cross-shard via the window-barrier
+  /// mailboxes), crossing stats and the serialization memo become
+  /// per-shard, and the subcast leg is event-chained hop by hop instead
+  /// of walked synchronously (the walk would mutate busy horizons owned
+  /// by other shards). Legacy mode (no engine, the default) is untouched
+  /// and byte-identical. Requirements in sharded mode: the drop function
+  /// must be pure/thread-safe, no perturbation hook, no administrative
+  /// link-state changes after the run starts, and the engine's lookahead
+  /// must not exceed config().link_delay.
+  void enable_sharding(sim::ShardedEngine* engine);
+
   /// Installs the per-crossing perturbation decision (duplication and
   /// delay jitter); nullptr = undisturbed. Consulted after link state and
   /// the drop decision, so a dropped packet is never duplicated.
@@ -143,6 +157,11 @@ class Network {
   const CrossingStats& crossings() const { return stats_; }
   void reset_crossings() { stats_ = CrossingStats{}; }
 
+  /// Crossing totals across the legacy counters and every shard's — what
+  /// the sharded harness collects (identical to crossings() without an
+  /// engine). Summed shard 0..S-1; uint64 adds, so layout-independent.
+  CrossingStats total_crossings() const;
+
  private:
   enum class Mode { kMulticast, kUnicast, kSubcast };
 
@@ -155,6 +174,11 @@ class Network {
   /// `to` (if any) and, in flood/subcast modes, keeps forwarding.
   void send_hop(NodeId from, NodeId to, const PacketRef& pkt, Mode mode);
   void arrive(NodeId at, NodeId came_from, const PacketRef& pkt, Mode mode);
+
+  /// Sharded-mode subcast leg: one event-chained unicast-accounted hop of
+  /// `pkt` from `cur` toward `router`; on reaching the router, fans out
+  /// downstream as a subcast.
+  void leg_hop(NodeId cur, NodeId router, const PacketRef& pkt);
 
   /// Shared per-crossing loss accounting (link state + DropFn): returns
   /// true (and tallies the drop) when the crossing `from` → `to` loses the
@@ -174,16 +198,34 @@ class Network {
   /// [child][1]=up.
   sim::SimTime& busy_until(NodeId from, NodeId to);
 
+  /// The clock/scheduler of the calling context: the ctor simulator in
+  /// legacy mode, the current shard's in sharded mode.
+  sim::Simulator& cur_sim() {
+    return engine_ ? engine_->current_sim() : sim_;
+  }
+  CrossingStats& cur_stats() {
+    return engine_ ? shard_stats_[static_cast<std::size_t>(
+                         engine_->current_shard())]
+                   : stats_;
+  }
+
   sim::Simulator& sim_;
   const MulticastTree& tree_;
   NetworkConfig config_;
   std::vector<Agent*> agents_;
   std::vector<std::array<sim::SimTime, 2>> busy_;
-  std::vector<bool> link_up_;  ///< indexed by child endpoint
+  /// Indexed by child endpoint. Deliberately not vector<bool>: concurrent
+  /// shards read distinct links, and packed bits would share bytes.
+  std::vector<char> link_up_;
   std::vector<std::pair<int, sim::SimTime>> ser_cache_;
   DropFn drop_fn_;
   PerturbFn perturb_fn_;
   CrossingStats stats_;
+  sim::ShardedEngine* engine_ = nullptr;
+  std::vector<CrossingStats> shard_stats_;  ///< one per shard when sharded
+  /// Per-shard serialization memo (the legacy ser_cache_ is shared
+  /// mutable state and the sizes seen differ per shard anyway).
+  std::vector<std::vector<std::pair<int, sim::SimTime>>> shard_ser_;
 };
 
 }  // namespace cesrm::net

@@ -1,16 +1,23 @@
 // event_queue.hpp — the simulator's pending-event set.
 //
-// A 4-ary implicit min-heap ordered by (time, schedule sequence) so that
-// events scheduled for the same tick fire in FIFO order — a property the
-// SRM suppression logic relies on for determinism. Callbacks live in a
-// generation-tagged slot pool: an EventId encodes ⟨generation, slot⟩, so
-// cancel() and is_pending() are two array reads and a tag compare — no
-// hashing, no per-event allocation (the callback's captures sit inline in
-// the slot via InlineFunction). Cancellation stays lazy: the heap entry of
-// a cancelled event is skipped at pop time when its generation tag no
-// longer matches the slot. This keeps cancel() O(1), which matters because
-// SRM suppression cancels a large fraction of all scheduled timers, and
-// frees the cancelled callback's captures immediately.
+// A 4-ary implicit min-heap ordered by (time, tag, schedule sequence) so
+// that events scheduled for the same tick fire in FIFO order — a property
+// the SRM suppression logic relies on for determinism. The middle `tag`
+// key is 0 for every plainly-scheduled event, so the default order is the
+// historical (time, sequence) FIFO exactly; the sharded parallel engine
+// schedules cross-shard arrivals through schedule_tagged() with a
+// deterministic ⟨origin location, per-location counter⟩ tag so that
+// same-instant ties resolve identically for any shard count (the schedule
+// *sequence* is a per-queue artifact of execution interleaving and cannot
+// be used across shards). Callbacks live in a generation-tagged slot pool:
+// an EventId encodes ⟨generation, slot⟩, so cancel() and is_pending() are
+// two array reads and a tag compare — no hashing, no per-event allocation
+// (the callback's captures sit inline in the slot via InlineFunction).
+// Cancellation stays lazy: the heap entry of a cancelled event is skipped
+// at pop time when its generation tag no longer matches the slot. This
+// keeps cancel() O(1), which matters because SRM suppression cancels a
+// large fraction of all scheduled timers, and frees the cancelled
+// callback's captures immediately.
 #pragma once
 
 #include <cstdint>
@@ -35,8 +42,18 @@ class EventQueue {
  public:
   using Callback = InlineFunction;
 
-  /// Schedules `cb` at absolute time `when`; returns its id.
-  EventId schedule(SimTime when, Callback cb);
+  /// Schedules `cb` at absolute time `when`; returns its id. Ties at the
+  /// same instant fire in schedule order (tag 0, FIFO).
+  EventId schedule(SimTime when, Callback cb) {
+    return schedule_tagged(when, 0, std::move(cb));
+  }
+
+  /// Schedules `cb` at `when` with an explicit ordering tag. Among events
+  /// at the same instant, lower tags fire first (tag 0 — every plain
+  /// schedule() — before all tagged events); equal tags fall back to
+  /// schedule order. Tags let the sharded engine impose an execution-
+  /// independent total order on cross-shard arrivals.
+  EventId schedule_tagged(SimTime when, std::uint64_t tag, Callback cb);
 
   /// Cancels a pending event. Returns true if it was still pending;
   /// cancelling an already-fired or unknown id returns false.
@@ -81,7 +98,8 @@ class EventQueue {
 
   struct HeapEntry {
     SimTime when;
-    std::uint64_t seq;  ///< monotonic schedule order — FIFO tie-break
+    std::uint64_t tag;  ///< cross-shard deterministic tie-break (0 = FIFO)
+    std::uint64_t seq;  ///< monotonic schedule order — final tie-break
     std::uint32_t slot;
     std::uint32_t gen;
   };
@@ -95,6 +113,7 @@ class EventQueue {
 
   static bool earlier(const HeapEntry& a, const HeapEntry& b) {
     if (a.when != b.when) return a.when < b.when;
+    if (a.tag != b.tag) return a.tag < b.tag;
     return a.seq < b.seq;
   }
 
@@ -135,7 +154,8 @@ class EventQueue {
 
 // ---- hot path, kept inline (header) for cross-TU inlining ----
 
-inline EventId EventQueue::schedule(SimTime when, Callback cb) {
+inline EventId EventQueue::schedule_tagged(SimTime when, std::uint64_t tag,
+                                           Callback cb) {
   CESRM_CHECK_MSG(cb != nullptr, "null event callback");
   std::uint32_t slot;
   if (free_head_ != kNoSlot) {
@@ -151,7 +171,7 @@ inline EventId EventQueue::schedule(SimTime when, Callback cb) {
   s.cb = std::move(cb);
   s.live = true;
 
-  heap_.push_back(HeapEntry{when, next_seq_++, slot, s.gen});
+  heap_.push_back(HeapEntry{when, tag, next_seq_++, slot, s.gen});
   sift_up(heap_.size() - 1);
 
   ++scheduled_;

@@ -25,6 +25,13 @@ EventId Simulator::schedule_at(SimTime when, EventQueue::Callback cb) {
   return queue_.schedule(when, std::move(cb));
 }
 
+EventId Simulator::schedule_at_tagged(SimTime when, std::uint64_t tag,
+                                      EventQueue::Callback cb) {
+  CESRM_CHECK_MSG(when >= now_, "scheduling into the past: when=" << when
+                                 << " now=" << now_);
+  return queue_.schedule_tagged(when, tag, std::move(cb));
+}
+
 bool Simulator::step() {
   SimTime when;
   EventQueue::Callback cb;
@@ -67,6 +74,15 @@ void Simulator::profile_tick() {
 void Simulator::run() {
   stopped_ = false;
   while (!stopped_ && step()) {
+  }
+}
+
+void Simulator::run_window(SimTime end) {
+  stopped_ = false;
+  while (!stopped_) {
+    const SimTime next = queue_.next_time();
+    if (next >= end) break;
+    step();
   }
 }
 

@@ -35,6 +35,13 @@ class Simulator {
   /// Schedules `cb` at absolute time `when`; `when` must be >= now().
   EventId schedule_at(SimTime when, EventQueue::Callback cb);
 
+  /// Schedules `cb` at `when` with an explicit ordering tag (see
+  /// EventQueue::schedule_tagged). The sharded engine routes cross-shard
+  /// arrivals through this so same-instant ties order identically for any
+  /// shard count; plain schedule_at/in use tag 0 (historical FIFO).
+  EventId schedule_at_tagged(SimTime when, std::uint64_t tag,
+                             EventQueue::Callback cb);
+
   /// Cancels a pending event; returns true if it had not yet fired.
   bool cancel(EventId id) { return queue_.cancel(id); }
   bool is_pending(EventId id) const { return queue_.is_pending(id); }
@@ -49,6 +56,22 @@ class Simulator {
   /// (if the simulation did not already pass it). Pending later events stay
   /// queued.
   void run_until(SimTime until);
+
+  /// Runs events with time strictly < `end`, leaving the clock at the last
+  /// executed event; later events stay queued. The sharded engine's
+  /// lookahead-window body (run_until is inclusive and clamps the clock,
+  /// which a mid-simulation window must not do).
+  void run_window(SimTime end);
+
+  /// Earliest pending event's time; infinity() when the queue is empty.
+  /// Non-const: lazily discards cancelled heap tops.
+  SimTime next_event_time() { return queue_.next_time(); }
+
+  /// Clamps the clock forward to `t` if it is behind (the sharded engine's
+  /// end-of-run epilogue, mirroring run_until's final clamp).
+  void advance_clock(SimTime t) {
+    if (now_ < t) now_ = t;
+  }
 
   /// Makes run()/run_until() return after the current event.
   void stop() { stopped_ = true; }
