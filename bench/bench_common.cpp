@@ -6,6 +6,7 @@
 
 #include "infer/link_estimator.hpp"
 #include "util/logging.hpp"
+#include "util/proc.hpp"
 
 namespace cesrm::bench {
 
@@ -333,17 +334,11 @@ void print_header(const std::string& what, const BenchOptions& opts) {
   std::cout << "\n\n";
 }
 
-std::uint64_t peak_rss_bytes() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) != 0) continue;
-    std::istringstream fields(line.substr(6));
-    std::uint64_t kb = 0;
-    fields >> kb;
-    return kb * 1024;
-  }
-  return 0;
+std::string peak_rss_json_value() {
+  if (const auto rss = util::peak_rss_bytes()) return std::to_string(*rss);
+  std::cerr << "warning: peak RSS unavailable (/proc/self/status has no "
+               "VmHWM on this platform); --mem emits null\n";
+  return "null";
 }
 
 void write_json(const BenchOptions& opts,
@@ -364,7 +359,7 @@ void write_json(const BenchOptions& opts,
   const std::size_t close = doc.rfind('}');
   if (close != std::string::npos) {
     std::string mem = ",\"mem\":{\"peak_rss_bytes\":";
-    mem += std::to_string(peak_rss_bytes());
+    mem += peak_rss_json_value();
     mem += "}";
     doc.insert(close, mem);
   }

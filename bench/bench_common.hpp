@@ -121,10 +121,11 @@ struct BenchOptions {
 /// main with `return slo_exit(opts);`.
 int slo_exit(const BenchOptions& opts);
 
-/// Peak resident set size of this process in bytes (VmHWM from
-/// /proc/self/status). Returns 0 when the field is unavailable (non-Linux
-/// hosts), so callers can gate emission on a non-zero reading.
-std::uint64_t peak_rss_bytes();
+/// Renders util::peak_rss_bytes() for a --mem JSON artifact: the byte
+/// count, or "null" — with a one-line warning on stderr — when VmHWM is
+/// unavailable (non-Linux hosts, restricted /proc). Never a silent 0: a
+/// fake measurement poisons bench_diff comparisons.
+std::string peak_rss_json_value();
 
 /// Registers the common flags on `flags`.
 void add_common_flags(util::CliFlags& flags, const std::string& default_traces);

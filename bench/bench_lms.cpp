@@ -16,6 +16,7 @@
 #include <functional>
 #include <iostream>
 
+#include "net/network.hpp"
 #include "bench_common.hpp"
 #include "cesrm/cesrm_agent.hpp"
 #include "infer/link_estimator.hpp"

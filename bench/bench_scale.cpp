@@ -77,7 +77,7 @@ void write_json(const std::string& path, const std::vector<Metric>& metrics,
      << ", \"packets\": " << packets << ", \"seed\": " << seed
      << ", \"smoke\": " << (smoke ? "true" : "false") << "},\n";
   if (mem)
-    os << "  \"mem\": {\"peak_rss_bytes\": " << bench::peak_rss_bytes()
+    os << "  \"mem\": {\"peak_rss_bytes\": " << bench::peak_rss_json_value()
        << "},\n";
   os << "  \"metrics\": {\n";
   for (std::size_t i = 0; i < metrics.size(); ++i) {

@@ -12,7 +12,7 @@ namespace {
 class SrmAppAgent final : public srm::SrmAgent {
  public:
   SrmAppAgent(MulticastSession& session, sim::Simulator& sim,
-              net::Network& network, net::NodeId self,
+              net::Transport& network, net::NodeId self,
               net::NodeId primary_source, const srm::SrmConfig& config,
               util::Rng rng,
               std::function<void(net::NodeId, net::SeqNo)> on_available)
@@ -32,7 +32,7 @@ class SrmAppAgent final : public srm::SrmAgent {
 
 class CesrmAppAgent final : public cesrm::CesrmAgent {
  public:
-  CesrmAppAgent(sim::Simulator& sim, net::Network& network, net::NodeId self,
+  CesrmAppAgent(sim::Simulator& sim, net::Transport& network, net::NodeId self,
                 net::NodeId primary_source, const cesrm::CesrmConfig& config,
                 util::Rng rng,
                 std::function<void(net::NodeId, net::SeqNo)> on_available)

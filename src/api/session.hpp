@@ -117,7 +117,7 @@ class MulticastGroup {
   void set_drop_fn(net::DropFn fn);
 
   sim::Simulator& simulator() { return sim_; }
-  net::Network& network() { return network_; }
+  net::Transport& network() { return network_; }
   const net::MulticastTree& tree() const { return *tree_; }
 
   void run_for(sim::SimTime duration);

@@ -7,7 +7,7 @@
 
 namespace cesrm::cesrm {
 
-CesrmAgent::CesrmAgent(sim::Simulator& sim, net::Network& network,
+CesrmAgent::CesrmAgent(sim::Simulator& sim, net::Transport& network,
                        net::NodeId self, net::NodeId primary_source,
                        const CesrmConfig& config, util::Rng rng)
     : SrmAgent(sim, network, self, primary_source, config.srm, rng),
@@ -212,17 +212,14 @@ void CesrmAgent::on_exp_request(const net::Packet& pkt) {
               pkt.seq, pkt.ann.requestor, /*detail=*/1);
   const net::Packet reply =
       net::make_exp_reply_packet(node(), pkt.source, pkt.seq, ann);
-  if (cesrm_config_.router_assist &&
-      pkt.ann.turning_point != net::kInvalidNode &&
-      pkt.ann.turning_point != net_.tree().root()) {
-    // §3.3: localize the retransmission — unicast to the turning-point
-    // router, which subcasts it to its subtree only. A root turning point
-    // offers no localization (the subcast would cover the whole tree while
-    // the unicast leg adds crossings), so fall back to plain multicast.
-    net_.unicast_subcast(node(), pkt.ann.turning_point, reply);
-  } else {
-    net_.multicast(node(), reply);
-  }
+  // §3.3: localize the retransmission through the turning-point router
+  // when router assistance is on (the shared Transport leg falls back to
+  // plain multicast for an absent or root turning point).
+  net_.send_reply_localized(node(),
+                            cesrm_config_.router_assist
+                                ? pkt.ann.turning_point
+                                : net::kInvalidNode,
+                            reply);
   if (durable_sink_)
     durable_sink_->on_reply_served(pkt.source, pkt.seq, pkt.ann.requestor,
                                    /*expedited=*/true);

@@ -57,7 +57,7 @@ struct CesrmConfig {
 
 class CesrmAgent : public srm::SrmAgent {
  public:
-  CesrmAgent(sim::Simulator& sim, net::Network& network, net::NodeId self,
+  CesrmAgent(sim::Simulator& sim, net::Transport& network, net::NodeId self,
              net::NodeId primary_source, const CesrmConfig& config,
              util::Rng rng);
 

@@ -7,7 +7,7 @@
 
 namespace cesrm::lms {
 
-LmsAgent::LmsAgent(sim::Simulator& sim, net::Network& network,
+LmsAgent::LmsAgent(sim::Simulator& sim, net::Transport& network,
                    net::NodeId self, net::NodeId primary_source,
                    const LmsConfig& config, LmsDirectory& directory,
                    util::Rng rng)
@@ -96,12 +96,7 @@ void LmsAgent::on_exp_request(const net::Packet& pkt) {
       net::make_exp_reply_packet(node(), pkt.source, pkt.seq, ann);
   // LMS always delivers via the turning-point router (unicast + subcast);
   // the root router covers the whole tree, equivalent to multicast.
-  if (ann.turning_point != net::kInvalidNode &&
-      ann.turning_point != net_.tree().root()) {
-    net_.unicast_subcast(node(), ann.turning_point, reply);
-  } else {
-    net_.multicast(node(), reply);
-  }
+  net_.send_reply_localized(node(), ann.turning_point, reply);
   rs.abstinence_until =
       sim_.now() + sim::SimTime::from_seconds(
                        config_.d3 * distance_to(pkt.ann.requestor));

@@ -44,7 +44,7 @@ class LmsAgent : public srm::SrmAgent {
  public:
   /// All members of one session share the `directory` (the routers'
   /// replier state).
-  LmsAgent(sim::Simulator& sim, net::Network& network, net::NodeId self,
+  LmsAgent(sim::Simulator& sim, net::Transport& network, net::NodeId self,
            net::NodeId primary_source, const LmsConfig& config,
            LmsDirectory& directory, util::Rng rng);
 

@@ -32,18 +32,11 @@
 
 #include "net/packet.hpp"
 #include "net/topology.hpp"
+#include "net/transport.hpp"
 #include "sim/sharded.hpp"
 #include "sim/simulator.hpp"
 
 namespace cesrm::net {
-
-/// Protocol endpoint attached to a tree node (the source and receivers).
-class Agent {
- public:
-  virtual ~Agent() = default;
-  /// Invoked at the packet's arrival time at this member's node.
-  virtual void on_packet(const Packet& pkt) = 0;
-};
 
 /// Per-direction link crossing decision: return true to drop the packet on
 /// the edge `from` → `to` (always a tree edge).
@@ -99,17 +92,17 @@ struct CrossingStats {
   }
 };
 
-class Network {
+class Network : public Transport {
  public:
   Network(sim::Simulator& sim, const MulticastTree& tree,
           NetworkConfig config);
 
-  const MulticastTree& tree() const { return tree_; }
+  const MulticastTree& tree() const override { return tree_; }
   const NetworkConfig& config() const { return config_; }
 
   /// Attaches the protocol agent for member node `node` (must be the root
   /// or a leaf). At most one agent per node.
-  void attach(NodeId node, Agent* agent);
+  void attach(NodeId node, Agent* agent) override;
 
   /// Installs the per-crossing loss decision; nullptr = lossless.
   void set_drop_fn(DropFn fn) { drop_fn_ = std::move(fn); }
@@ -140,19 +133,19 @@ class Network {
 
   /// Floods `pkt` over the shared tree from `from`'s attachment point.
   /// The sender does not receive its own packet.
-  void multicast(NodeId from, const Packet& pkt);
+  void multicast(NodeId from, const Packet& pkt) override;
 
   /// Sends `pkt` along the tree path from `from` to `pkt.dest`.
-  void unicast(NodeId from, const Packet& pkt);
+  void unicast(NodeId from, const Packet& pkt) override;
 
   /// Router-assisted delivery: unicast from `from` to `router`, then
   /// subcast from `router` to its entire subtree (§3.3).
-  void unicast_subcast(NodeId from, NodeId router, const Packet& pkt);
+  void unicast_subcast(NodeId from, NodeId router, const Packet& pkt) override;
 
   /// One-way propagation delay along the tree path a → b (sums link
   /// delays; excludes serialization). Used for oracle distances and for
   /// RTT normalization in reports.
-  sim::SimTime path_delay(NodeId a, NodeId b) const;
+  sim::SimTime path_delay(NodeId a, NodeId b) const override;
 
   const CrossingStats& crossings() const { return stats_; }
   void reset_crossings() { stats_ = CrossingStats{}; }

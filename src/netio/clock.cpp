@@ -1,0 +1,25 @@
+#include "netio/clock.hpp"
+
+#if defined(__linux__)
+#include <time.h>
+#else
+#include <chrono>
+#endif
+
+namespace cesrm::netio {
+
+std::uint64_t MonotonicClock::raw_ns() {
+#if defined(__linux__)
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ULL +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+}  // namespace cesrm::netio

@@ -1,0 +1,64 @@
+// clock.hpp — the wall-clock seam of the real-network backend.
+//
+// The simulator's Timer/EventQueue machinery orders everything by SimTime.
+// In simulation the driver *invents* that time; over real sockets it must
+// *observe* it. ClockSource is that seam: a monotonic reading, expressed
+// as a SimTime offset from a fixed epoch, so the identical Timer and
+// EventQueue code runs behind either regime. All agent threads of one
+// netio run share one epoch, which puts every agent's trace events,
+// timers, and recovery records on a single common timeline — exactly what
+// the obs exporters and the invariant oracle expect from a simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.hpp"
+
+namespace cesrm::netio {
+
+class ClockSource {
+ public:
+  virtual ~ClockSource() = default;
+  /// Current time as an offset from this source's epoch. Monotonically
+  /// non-decreasing across calls.
+  virtual sim::SimTime now() = 0;
+};
+
+/// CLOCK_MONOTONIC, anchored at an epoch captured once. Copies sharing an
+/// epoch_ns reading (one per agent thread of a run) report the same
+/// timeline; clock_gettime itself is thread-safe, so instances need no
+/// synchronization.
+class MonotonicClock final : public ClockSource {
+ public:
+  /// Epoch = the reading at construction.
+  MonotonicClock() : epoch_ns_(raw_ns()) {}
+  /// Shared-epoch constructor (pass another clock's epoch_ns()).
+  explicit MonotonicClock(std::uint64_t epoch_ns) : epoch_ns_(epoch_ns) {}
+
+  sim::SimTime now() override {
+    return sim::SimTime::nanos(
+        static_cast<std::int64_t>(raw_ns() - epoch_ns_));
+  }
+
+  std::uint64_t epoch_ns() const { return epoch_ns_; }
+
+  /// Raw CLOCK_MONOTONIC reading in nanoseconds.
+  static std::uint64_t raw_ns();
+
+ private:
+  std::uint64_t epoch_ns_;
+};
+
+/// Manually-advanced clock for deterministic reactor tests: time moves
+/// only when the test says so.
+class FakeClock final : public ClockSource {
+ public:
+  sim::SimTime now() override { return now_; }
+  void set(sim::SimTime t) { now_ = t; }
+  void advance(sim::SimTime d) { now_ += d; }
+
+ private:
+  sim::SimTime now_ = sim::SimTime::zero();
+};
+
+}  // namespace cesrm::netio

@@ -1,0 +1,94 @@
+// shim.hpp — the pluggable loss/delay shim of the netio backend.
+//
+// Loopback UDP never drops and never delays, so a real-socket run would
+// exercise none of the recovery machinery the repo exists to study. The
+// LossShim re-introduces the simulated network's failure model at the
+// socket layer: every received datagram is judged as if it had crossed
+// the tree path from its sender's attachment node to the receiver's, and
+// each lossy link on that path flips a *stateless seeded coin* — a
+// splitmix64 hash of (seed, link, packet identity), not an RNG stream —
+// so every receiver below a shared lossy link computes the identical
+// verdict without any cross-thread state. That preserves the correlated
+// subtree losses of the simulator's per-link DropFn (one upstream drop
+// loses the packet for the whole subtree), which is what makes SRM's
+// suppression and CESRM's caching measurable.
+//
+// Semantics mirror harness::run_experiment's loss injection:
+//  * DATA drops only on *downstream* crossings of lossy links (data flows
+//    down the tree; the verdict is a pure function of the packet identity,
+//    so a run is exactly reproducible from the seed);
+//  * SESSION is never dropped (§4.3);
+//  * recovery traffic (requests/replies, expedited or not) drops on any
+//    lossy-link crossing — salted with a coarse arrival-time bucket so a
+//    *re*-transmission draws a fresh coin. Without the salt a deterministic
+//    verdict would drop every retry of an unlucky request forever and no
+//    run could ever reach zero unrecovered losses. Receivers sharing a
+//    link observe arrival times microseconds apart on loopback, so they
+//    fall in the same bucket (and stay correlated) except within a hair of
+//    a bucket boundary — a benign, bounded decorrelation.
+//
+// Delay is hop count × link_delay plus per-receiver seeded jitter,
+// consistent with SocketTransport::path_delay — the oracle-distance mode
+// and RTT normalization then see the same geometry the shim enforces.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/time.hpp"
+
+namespace cesrm::netio {
+
+struct ShimConfig {
+  std::uint64_t seed = 1;
+  /// Per-lossy-link drop probability for DATA downstream crossings.
+  double data_loss = 0.0;
+  /// Per-lossy-link drop probability for recovery-traffic crossings.
+  double control_loss = 0.0;
+  /// One-way per-link propagation delay (also SocketTransport::path_delay).
+  sim::SimTime link_delay = sim::SimTime::millis(20);
+  /// Max per-datagram seeded jitter added on top of the path delay.
+  sim::SimTime jitter = sim::SimTime::zero();
+  /// Links (identified by child endpoint) subject to loss; empty = every
+  /// link is lossy.
+  std::vector<net::LinkId> lossy_links;
+  /// Width of the arrival-time bucket salting control-traffic coins.
+  sim::SimTime control_salt_period = sim::SimTime::millis(250);
+};
+
+class LossShim {
+ public:
+  struct Verdict {
+    bool drop = false;
+    sim::SimTime delay = sim::SimTime::zero();
+    /// The first lossy link that dropped the packet (valid when drop).
+    net::LinkId dropped_on = net::kInvalidNode;
+  };
+
+  /// `tree` must outlive the shim. Lossy links outside the tree are
+  /// rejected with util::CheckError.
+  LossShim(const net::MulticastTree& tree, ShimConfig config);
+
+  /// Judges one datagram of `pkt` travelling from `sender`'s node to
+  /// `receiver`'s node, arriving at wall time `rx_time`. Pure function of
+  /// (config, packet identity, rx_time bucket) — thread-safe by
+  /// statelessness; every receiver thread consults one shared instance.
+  Verdict crossing(const net::Packet& pkt, net::NodeId sender,
+                   net::NodeId receiver, sim::SimTime rx_time) const;
+
+  const ShimConfig& config() const { return config_; }
+
+  /// True when `link` flips loss coins.
+  bool lossy(net::LinkId link) const {
+    return lossy_[static_cast<std::size_t>(link)] != 0;
+  }
+
+ private:
+  const net::MulticastTree& tree_;
+  ShimConfig config_;
+  std::vector<char> lossy_;  ///< indexed by child endpoint
+};
+
+}  // namespace cesrm::netio

@@ -1,0 +1,219 @@
+#include "netio/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <sstream>
+
+#include "util/check.hpp"
+
+#if defined(__linux__)
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace cesrm::netio {
+
+std::string endpoint_to_string(const Endpoint& ep) {
+  std::ostringstream os;
+  os << ((ep.addr >> 24) & 0xFF) << '.' << ((ep.addr >> 16) & 0xFF) << '.'
+     << ((ep.addr >> 8) & 0xFF) << '.' << (ep.addr & 0xFF) << ':' << ep.port;
+  return os.str();
+}
+
+std::optional<std::uint32_t> parse_ipv4(const std::string& dotted) {
+  std::uint32_t addr = 0;
+  int octets = 0;
+  std::size_t pos = 0;
+  while (pos <= dotted.size() && octets < 4) {
+    std::size_t dot = dotted.find('.', pos);
+    if (dot == std::string::npos) dot = dotted.size();
+    if (dot == pos || dot - pos > 3) return std::nullopt;
+    std::uint32_t value = 0;
+    for (std::size_t i = pos; i < dot; ++i) {
+      if (dotted[i] < '0' || dotted[i] > '9') return std::nullopt;
+      value = value * 10 + static_cast<std::uint32_t>(dotted[i] - '0');
+    }
+    if (value > 255) return std::nullopt;
+    addr = (addr << 8) | value;
+    ++octets;
+    pos = dot + 1;
+  }
+  if (octets != 4 || pos <= dotted.size()) return std::nullopt;
+  return addr;
+}
+
+#if defined(__linux__)
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& hint) {
+  std::string msg = what + ": " + std::strerror(errno);
+  if (!hint.empty()) msg += " (" + hint + ")";
+  throw util::CheckError(msg);
+}
+
+sockaddr_in to_sockaddr(const Endpoint& ep) {
+  sockaddr_in sa{};
+  sa.sin_family = AF_INET;
+  sa.sin_addr.s_addr = htonl(ep.addr);
+  sa.sin_port = htons(ep.port);
+  return sa;
+}
+
+}  // namespace
+
+UdpSocket::UdpSocket() {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("cannot create UDP socket", "");
+  const int one = 1;
+  // Every member of a loopback run binds the shared multicast port;
+  // REUSEADDR is what lets N group sockets coexist on one host.
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  const int rcvbuf = 4 << 20;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof rcvbuf);
+}
+
+UdpSocket::~UdpSocket() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void UdpSocket::bind(const Endpoint& local, const char* port_flag) {
+  sockaddr_in sa = to_sockaddr(local);
+  if (::bind(fd_, reinterpret_cast<const sockaddr*>(&sa), sizeof sa) != 0) {
+    const bool in_use = errno == EADDRINUSE;
+    throw_errno(
+        "cannot bind UDP socket to " + endpoint_to_string(local),
+        in_use ? std::string("port in use — another process or a concurrent "
+                             "run holds it; pick a different ") +
+                     port_flag + " (valid: any free UDP port 1024-65535)"
+               : "");
+  }
+}
+
+Endpoint UdpSocket::local_endpoint() const {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  CESRM_CHECK(::getsockname(fd_, reinterpret_cast<sockaddr*>(&sa), &len) == 0);
+  return Endpoint{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+}
+
+void UdpSocket::join_group(std::uint32_t group_addr,
+                           std::uint32_t iface_addr) {
+  if (!is_multicast_addr(group_addr)) {
+    throw util::CheckError(
+        "cannot join group " +
+        endpoint_to_string(Endpoint{group_addr, 0}) +
+        ": not an IPv4 multicast address (valid: 224.0.0.0-239.255.255.255; "
+        "the loopback harness defaults to the 239.192.0.0/16 "
+        "organization-local block)");
+  }
+  ip_mreqn req{};
+  req.imr_multiaddr.s_addr = htonl(group_addr);
+  req.imr_address.s_addr = htonl(iface_addr);
+  if (::setsockopt(fd_, IPPROTO_IP, IP_ADD_MEMBERSHIP, &req, sizeof req) !=
+      0) {
+    throw_errno("cannot join multicast group " +
+                    endpoint_to_string(Endpoint{group_addr, 0}) +
+                    " on interface " +
+                    endpoint_to_string(Endpoint{iface_addr, 0}),
+                "multicast join failed — the interface may lack multicast "
+                "support or the container may restrict IGMP; try "
+                "--mcast-addr with a different 239.192.x.y group, or check "
+                "that the loopback interface is up (valid: a multicast-"
+                "capable interface and a 224.0.0.0/4 group)");
+  }
+}
+
+void UdpSocket::set_multicast_egress(std::uint32_t iface_addr, bool loop) {
+  ip_mreqn req{};
+  req.imr_address.s_addr = htonl(iface_addr);
+  if (::setsockopt(fd_, IPPROTO_IP, IP_MULTICAST_IF, &req, sizeof req) != 0)
+    throw_errno("cannot set multicast egress interface " +
+                    endpoint_to_string(Endpoint{iface_addr, 0}),
+                "valid: an address owned by a multicast-capable interface");
+  const int on = loop ? 1 : 0;
+  ::setsockopt(fd_, IPPROTO_IP, IP_MULTICAST_LOOP, &on, sizeof on);
+}
+
+bool UdpSocket::send_to(const Endpoint& dest,
+                        std::span<const std::uint8_t> bytes) {
+  sockaddr_in sa = to_sockaddr(dest);
+  const ssize_t n =
+      ::sendto(fd_, bytes.data(), bytes.size(), 0,
+               reinterpret_cast<const sockaddr*>(&sa), sizeof sa);
+  if (n == static_cast<ssize_t>(bytes.size())) return true;
+  if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK || errno == ENOBUFS))
+    return false;  // kernel queue full: UDP loss, the protocol recovers
+  throw_errno("cannot send datagram to " + endpoint_to_string(dest), "");
+}
+
+std::optional<std::size_t> UdpSocket::recv_from(std::span<std::uint8_t> buf,
+                                                Endpoint* from) {
+  sockaddr_in sa{};
+  socklen_t len = sizeof sa;
+  const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                               reinterpret_cast<sockaddr*>(&sa), &len);
+  if (n < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::nullopt;
+    throw_errno("cannot receive datagram", "");
+  }
+  if (from) *from = Endpoint{ntohl(sa.sin_addr.s_addr), ntohs(sa.sin_port)};
+  return static_cast<std::size_t>(n);
+}
+
+#else  // !__linux__
+
+namespace {
+[[noreturn]] void netio_unsupported() {
+  throw util::CheckError(
+      "the netio real-network backend requires Linux (epoll + loopback "
+      "multicast); this build targets another platform (valid platforms: "
+      "linux)");
+}
+}  // namespace
+
+UdpSocket::UdpSocket() { netio_unsupported(); }
+UdpSocket::~UdpSocket() = default;
+UdpSocket::UdpSocket(UdpSocket&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+UdpSocket& UdpSocket::operator=(UdpSocket&& other) noexcept {
+  fd_ = other.fd_;
+  other.fd_ = -1;
+  return *this;
+}
+void UdpSocket::bind(const Endpoint&, const char*) { netio_unsupported(); }
+Endpoint UdpSocket::local_endpoint() const { netio_unsupported(); }
+void UdpSocket::join_group(std::uint32_t, std::uint32_t) {
+  netio_unsupported();
+}
+void UdpSocket::set_multicast_egress(std::uint32_t, bool) {
+  netio_unsupported();
+}
+bool UdpSocket::send_to(const Endpoint&, std::span<const std::uint8_t>) {
+  netio_unsupported();
+}
+std::optional<std::size_t> UdpSocket::recv_from(std::span<std::uint8_t>,
+                                                Endpoint*) {
+  netio_unsupported();
+}
+
+#endif
+
+}  // namespace cesrm::netio

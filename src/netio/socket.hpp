@@ -1,0 +1,88 @@
+// socket.hpp — RAII IPv4 UDP datagram sockets for the netio backend.
+//
+// A thin, throwing wrapper over the BSD socket calls the reactor needs:
+// nonblocking bind/sendto/recvfrom plus the multicast group plumbing
+// (IP_ADD_MEMBERSHIP, IP_MULTICAST_IF/LOOP). Failures throw
+// util::CheckError with the errno text *and* an actionable hint in the
+// repo's "(valid: ...)" CLI-error convention — a bound port collision or
+// a failed group join must tell the operator which flag to change, not
+// just echo strerror. Addresses and ports are host byte order throughout;
+// conversion happens only at the syscall boundary.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace cesrm::netio {
+
+/// One IPv4 UDP endpoint, host byte order.
+struct Endpoint {
+  std::uint32_t addr = 0;  ///< e.g. 0x7F000001 = 127.0.0.1
+  std::uint16_t port = 0;
+
+  friend bool operator==(const Endpoint&, const Endpoint&) = default;
+};
+
+/// Dotted-quad rendering, e.g. "127.0.0.1:47001".
+std::string endpoint_to_string(const Endpoint& ep);
+
+/// Parses a dotted-quad IPv4 address ("239.192.41.7") to host byte order;
+/// nullopt on malformed input.
+std::optional<std::uint32_t> parse_ipv4(const std::string& dotted);
+
+inline constexpr std::uint32_t kLoopbackAddr = 0x7F000001;  // 127.0.0.1
+
+/// True when the address lies in the IPv4 multicast block 224.0.0.0/4.
+constexpr bool is_multicast_addr(std::uint32_t addr) {
+  return (addr >> 28) == 0xE;
+}
+
+class UdpSocket {
+ public:
+  /// Creates a nonblocking AF_INET datagram socket with SO_REUSEADDR and a
+  /// generous receive buffer (loopback bursts of an N-agent run otherwise
+  /// overflow the default). Throws util::CheckError on failure.
+  UdpSocket();
+  ~UdpSocket();
+
+  UdpSocket(UdpSocket&& other) noexcept;
+  UdpSocket& operator=(UdpSocket&& other) noexcept;
+  UdpSocket(const UdpSocket&) = delete;
+  UdpSocket& operator=(const UdpSocket&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Binds to `local`; port 0 picks an ephemeral port (read it back via
+  /// local_endpoint()). EADDRINUSE throws with a pick-a-different-port
+  /// hint naming `port_flag` (e.g. "--mcast-port").
+  void bind(const Endpoint& local, const char* port_flag = "--base-port");
+
+  /// The bound address/port (getsockname).
+  Endpoint local_endpoint() const;
+
+  /// Joins multicast group `group_addr` on the interface that owns
+  /// `iface_addr` (loopback for the in-repo harness). Throws with a hint
+  /// about valid group ranges and multicast-capable interfaces on failure.
+  void join_group(std::uint32_t group_addr, std::uint32_t iface_addr);
+
+  /// Routes this socket's outgoing multicast through `iface_addr` and
+  /// enables/disables local loopback of its own group traffic.
+  void set_multicast_egress(std::uint32_t iface_addr, bool loop);
+
+  /// Sends one datagram. Returns false on transient refusal (EAGAIN /
+  /// ENOBUFS — kernel queue full; UDP loss, the protocol recovers);
+  /// throws on programming errors.
+  bool send_to(const Endpoint& dest, std::span<const std::uint8_t> bytes);
+
+  /// Receives one datagram into `buf`; returns its length and fills
+  /// `*from` (if non-null), or nullopt when the socket is drained.
+  std::optional<std::size_t> recv_from(std::span<std::uint8_t> buf,
+                                       Endpoint* from = nullptr);
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace cesrm::netio

@@ -10,7 +10,7 @@
 
 namespace cesrm::srm {
 
-SrmAgent::SrmAgent(sim::Simulator& sim, net::Network& network,
+SrmAgent::SrmAgent(sim::Simulator& sim, net::Transport& network,
                    net::NodeId self, net::NodeId primary_source,
                    const SrmConfig& config, util::Rng rng)
     : sim_(sim),

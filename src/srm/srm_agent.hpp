@@ -50,8 +50,8 @@
 #include <unordered_map>
 #include <vector>
 
-#include "net/network.hpp"
 #include "net/packet.hpp"
+#include "net/transport.hpp"
 #include "sim/simulator.hpp"
 #include "sim/timer.hpp"
 #include "srm/adaptive.hpp"
@@ -151,7 +151,7 @@ class SrmAgent : public net::Agent {
   /// that losses of the very first packets are detectable. Additional
   /// streams are discovered dynamically from traffic. `rng` seeds this
   /// agent's private timer-jitter stream.
-  SrmAgent(sim::Simulator& sim, net::Network& network, net::NodeId self,
+  SrmAgent(sim::Simulator& sim, net::Transport& network, net::NodeId self,
            net::NodeId primary_source, const SrmConfig& config,
            util::Rng rng);
   ~SrmAgent() override;
@@ -218,7 +218,7 @@ class SrmAgent : public net::Agent {
   /// obs::EventKind::kDecodeError trace event (detail = the error kind),
   /// and dropped without touching any protocol state. Returns true when
   /// the frame was accepted.
-  bool on_wire(std::span<const std::uint8_t> bytes);
+  bool on_wire(std::span<const std::uint8_t> bytes) override;
 
   net::NodeId node() const { return self_; }
   net::NodeId primary_source() const { return primary_source_; }
@@ -366,7 +366,7 @@ class SrmAgent : public net::Agent {
                            net::NodeId requestor, bool expedited);
 
   sim::Simulator& sim_;
-  net::Network& net_;
+  net::Transport& net_;
   const net::NodeId self_;
   const net::NodeId primary_source_;
   SrmConfig config_;

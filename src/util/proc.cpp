@@ -1,0 +1,27 @@
+#include "util/proc.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace cesrm::util {
+
+std::optional<std::uint64_t> parse_vm_hwm(std::istream& status) {
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) != 0) continue;
+    std::istringstream fields(line.substr(6));
+    std::uint64_t kb = 0;
+    if (!(fields >> kb)) return std::nullopt;  // "VmHWM:" with no number
+    return kb * 1024;
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  if (!status) return std::nullopt;
+  return parse_vm_hwm(status);
+}
+
+}  // namespace cesrm::util

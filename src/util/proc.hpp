@@ -1,0 +1,25 @@
+// proc.hpp — /proc/self introspection helpers.
+//
+// Peak resident set size comes from the VmHWM line of /proc/self/status,
+// which only Linux provides. Callers must treat the reading as optional:
+// on platforms (or sandboxes) without it, reporting a hard 0 would look
+// like a real measurement and silently poison bench artifacts, so the API
+// returns nullopt and the bench layer emits JSON null plus a one-line
+// warning instead.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+
+namespace cesrm::util {
+
+/// Parses a /proc/self/status-shaped stream and returns the VmHWM value
+/// in bytes; nullopt when no well-formed VmHWM line is present.
+std::optional<std::uint64_t> parse_vm_hwm(std::istream& status);
+
+/// Peak resident set size of this process in bytes; nullopt when
+/// /proc/self/status or its VmHWM line is unavailable (non-Linux).
+std::optional<std::uint64_t> peak_rss_bytes();
+
+}  // namespace cesrm::util

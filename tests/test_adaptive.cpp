@@ -5,6 +5,7 @@
 #include <memory>
 #include <set>
 
+#include "net/network.hpp"
 #include "net/topology_builder.hpp"
 #include "srm/adaptive.hpp"
 #include "srm/srm_agent.hpp"

@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 
+#include "net/network.hpp"
 #include "cesrm/cache.hpp"
 #include "cesrm/cesrm_agent.hpp"
 #include "cesrm/policy.hpp"

@@ -6,6 +6,7 @@
 #include <memory>
 #include <set>
 
+#include "net/network.hpp"
 #include "lms/directory.hpp"
 #include "lms/lms_agent.hpp"
 #include "net/topology_builder.hpp"

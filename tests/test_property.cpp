@@ -6,6 +6,7 @@
 #include <map>
 #include <tuple>
 
+#include "net/network.hpp"
 #include "harness/experiment.hpp"
 #include "harness/reports.hpp"
 #include "infer/combination_solver.hpp"

@@ -2,11 +2,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <set>
 
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/logging.hpp"
+#include "util/proc.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
@@ -400,6 +402,37 @@ TEST(Cli, TypeMismatchThrows) {
 }
 
 // -------------------------------------------------------------- logging ----
+
+TEST(Proc, ParseVmHwmWellFormed) {
+  std::istringstream status(
+      "Name:\tbench_scale\nVmPeak:\t  123456 kB\nVmHWM:\t   2048 kB\n"
+      "VmRSS:\t   1024 kB\n");
+  const auto hwm = parse_vm_hwm(status);
+  ASSERT_TRUE(hwm.has_value());
+  EXPECT_EQ(*hwm, 2048u * 1024u);
+}
+
+TEST(Proc, ParseVmHwmMissingLineIsNullopt) {
+  std::istringstream status("Name:\tx\nVmRSS:\t 1024 kB\n");
+  EXPECT_FALSE(parse_vm_hwm(status).has_value());
+}
+
+TEST(Proc, ParseVmHwmMalformedValueIsNullopt) {
+  // A VmHWM line whose value is not a number must not read as 0 bytes.
+  std::istringstream status("VmHWM:\tgarbage\n");
+  EXPECT_FALSE(parse_vm_hwm(status).has_value());
+}
+
+TEST(Proc, ParseVmHwmEmptyStreamIsNullopt) {
+  std::istringstream status("");
+  EXPECT_FALSE(parse_vm_hwm(status).has_value());
+}
+
+TEST(Proc, PeakRssOnLinuxIsPlausible) {
+  // The repo's platforms all have /proc; when present, the reading must be
+  // a real measurement (a running process has a non-zero high-water mark).
+  if (const auto rss = peak_rss_bytes()) EXPECT_GT(*rss, 0u);
+}
 
 TEST(Logging, ThresholdFilters) {
   const LogLevel saved = log_threshold();

@@ -52,6 +52,17 @@
 //       the anomaly report (request/reply implosion, zombie recoveries,
 //       cache inversions, tail outliers). --json writes the full
 //       machine-readable causal report.
+//
+//   netio-run [--protocol=srm|cesrm] [--tree=SPEC | --receivers=N
+//             --depth=D --branching=B] [--packets=N] [--period-ms=T]
+//             [--data-loss=P] [--control-loss=P] [--link-delay-ms=T]
+//             [--jitter-ms=T] [--mcast-addr=A] [--mcast-port=P] ...
+//       Run the protocol over REAL UDP sockets on the loopback interface:
+//       one thread per member, multicast group + unicast socket pair each,
+//       seeded losses injected at the sockets, and the post-run
+//       InvariantOracle verdict (any unrecovered loss fails the run).
+//       Prints the same recovery summary as 'simulate'; --trace-out and
+//       --json apply. Linux-only (epoll).
 
 #include <algorithm>
 #include <fstream>
@@ -69,6 +80,8 @@
 #include "infer/link_trace.hpp"
 #include "infer/minc_estimator.hpp"
 #include "lms/lms_agent.hpp"
+#include "netio/run.hpp"
+#include "netio/socket.hpp"
 #include "obs/causal.hpp"
 #include "obs/export.hpp"
 #include "obs/jsonl.hpp"
@@ -487,6 +500,129 @@ int cmd_compare(const util::CliFlags& flags) {
   return 0;
 }
 
+// ---------------------------------------------------------- netio ------
+
+// Runs the protocol over real loopback UDP sockets (src/netio) and prints
+// the simulate-style recovery summary plus datagram accounting. Flag
+// validation failures print a one-line hint and return 1; socket setup
+// failures (port in use, refused multicast join, non-Linux build) surface
+// through main's catch with the sockets' own friendly hints.
+int cmd_netio_run(const util::CliFlags& flags) {
+  // Reuse the simulate/compare validation for the shared protocol flags
+  // (cache-policy side-info refusal, --trace-out extension, seed).
+  const auto maybe_cfg = config_from_flags(flags);
+  if (!maybe_cfg) return 1;
+
+  netio::NetioRunConfig cfg;
+  cfg.cesrm = maybe_cfg->cesrm;
+  cfg.seed = maybe_cfg->seed;
+  const std::string protocol = flags.get_string("protocol");
+  if (const auto parsed = try_parse_protocol(protocol)) {
+    cfg.protocol = *parsed;
+  } else {
+    std::cerr << "netio-run: unknown --protocol '" << protocol
+              << "' (valid: " << protocol_names()
+              << "; lms needs router state no socket backend provides)\n";
+    return 1;
+  }
+
+  cfg.tree_text = flags.get_string("tree");
+  cfg.shape.receivers = static_cast<int>(flags.get_int("receivers"));
+  cfg.shape.depth = static_cast<int>(flags.get_int("depth"));
+  cfg.shape.max_branching = static_cast<int>(flags.get_int("branching"));
+
+  const auto mcast_addr = netio::parse_ipv4(flags.get_string("mcast-addr"));
+  if (!mcast_addr || !netio::is_multicast_addr(*mcast_addr)) {
+    std::cerr << "netio-run: bad --mcast-addr '"
+              << flags.get_string("mcast-addr")
+              << "' (valid: an IPv4 group in 224.0.0.0-239.255.255.255; "
+                 "the organization-local 239.192.0.0/16 range is a good "
+                 "default)\n";
+    return 1;
+  }
+  cfg.mcast_addr = *mcast_addr;
+  const std::int64_t port = flags.get_int("mcast-port");
+  if (port < 1024 || port > 65535) {
+    std::cerr << "netio-run: bad --mcast-port " << port
+              << " (valid: any free UDP port 1024-65535)\n";
+    return 1;
+  }
+  cfg.mcast_port = static_cast<std::uint16_t>(port);
+
+  cfg.shim.seed = cfg.seed;
+  cfg.shim.data_loss = flags.get_double("data-loss");
+  cfg.shim.control_loss = flags.get_double("control-loss");
+  cfg.shim.link_delay = sim::SimTime::millis(flags.get_int("link-delay-ms"));
+  cfg.shim.jitter = sim::SimTime::millis(flags.get_int("jitter-ms"));
+  const std::string lossy = flags.get_string("lossy-links");
+  if (!lossy.empty()) {
+    for (const auto& part : util::split(lossy, ',')) {
+      const auto link = util::parse_int(part);
+      if (!link) {
+        std::cerr << "netio-run: bad --lossy-links '" << lossy
+                  << "' (valid: comma-separated link ids, each named by "
+                     "its child node, e.g. --lossy-links=1,3)\n";
+        return 1;
+      }
+      cfg.shim.lossy_links.push_back(static_cast<net::NodeId>(*link));
+    }
+  }
+
+  cfg.packets = flags.get_int("packets");
+  cfg.period = sim::SimTime::millis(flags.get_int("period-ms"));
+  cfg.warmup = sim::SimTime::millis(flags.get_int("warmup-ms"));
+  cfg.drain = sim::SimTime::millis(flags.get_int("drain-ms"));
+  cfg.cesrm.srm.session_period =
+      sim::SimTime::millis(flags.get_int("session-ms"));
+  cfg.cesrm.srm.oracle_distances = flags.get_bool("oracle-distances");
+  cfg.observe_trace = maybe_cfg->observe.trace;
+
+  netio::NetioRunResult out = netio::run_netio(cfg);
+  const harness::ExperimentResult& result = out.experiment;
+
+  harness::JobOutcome outcome;
+  outcome.protocol = cfg.protocol;
+  outcome.label = result.trace_name;
+  outcome.result = result;
+  outcome.seed = cfg.seed;
+  outcome.wall_seconds = out.wall_seconds;
+  const std::vector<harness::JobOutcome> outcomes{std::move(outcome)};
+  maybe_write_json(flags, outcomes, result.trace_name);
+  maybe_write_obs(flags, outcomes);
+
+  std::uint64_t send_failures = 0, self_filtered = 0, received = 0;
+  for (const auto& s : out.sockets) {
+    send_failures += s.send_failures;
+    self_filtered += s.self_filtered;
+    received += s.datagrams_received;
+  }
+  std::cout << protocol_name(cfg.protocol) << " over loopback UDP ("
+            << result.members.size() << " members, tree "
+            << (cfg.tree_text.empty() ? "random" : cfg.tree_text) << "):\n"
+            << "  invariant oracle: all " << result.packets_sent
+            << " packets at every member, zero unrecovered\n"
+            << "  mean normalized recovery time: "
+            << util::fmt_fixed(result.mean_normalized_recovery_time(), 3)
+            << " RTT\n"
+            << "  losses detected " << util::fmt_count(
+                   result.total_losses_detected())
+            << ", silent repairs " << util::fmt_count(
+                   result.total_silent_repairs())
+            << ", shim drops " << util::fmt_count(out.total_shim_dropped())
+            << "\n"
+            << "  requests " << util::fmt_count(result.total_requests_sent())
+            << " multicast + " << util::fmt_count(
+                   result.total_exp_requests_sent())
+            << " expedited unicast\n"
+            << "  datagrams " << util::fmt_count(out.total_datagrams_sent())
+            << " sent, " << util::fmt_count(received) << " received, "
+            << util::fmt_count(self_filtered) << " self-filtered, "
+            << util::fmt_count(send_failures) << " send failures\n"
+            << "  wall time " << util::fmt_fixed(out.wall_seconds, 2)
+            << " s\n";
+  return 0;
+}
+
 // ----------------------------------------------------------- wire ------
 
 bool read_binary_file(const std::string& path,
@@ -856,6 +992,38 @@ int main(int argc, char** argv) {
                    "write simulate/compare run metrics here as JSON");
   flags.add_string("log-level", "warn",
                    "log threshold: trace|debug|info|warn|error|off");
+  flags.add_string("tree", "",
+                   "explicit netio-run topology, e.g. \"0(1(3 4) 2)\" "
+                   "(empty: a random --receivers/--depth/--branching tree)");
+  flags.add_int("receivers", 8, "random-tree receivers for 'netio-run'");
+  flags.add_int("depth", 3, "random-tree depth for 'netio-run'");
+  flags.add_int("branching", 4, "random-tree max branching for 'netio-run'");
+  flags.add_string("mcast-addr", "239.192.58.1",
+                   "multicast group for 'netio-run' (IPv4, on loopback)");
+  flags.add_int("mcast-port", 47500,
+                "shared UDP port every member's group socket binds");
+  flags.add_double("data-loss", 0.0,
+                   "seeded per-link DATA drop probability at the sockets");
+  flags.add_double("control-loss", 0.0,
+                   "seeded per-link control drop probability (requests/"
+                   "replies; sessions are never dropped)");
+  flags.add_int("link-delay-ms", 20,
+                "emulated per-hop propagation delay (>= 1)");
+  flags.add_int("jitter-ms", 0, "max extra seeded per-arrival jitter");
+  flags.add_string("lossy-links", "",
+                   "restrict seeded loss to these links (comma-separated "
+                   "child-node ids; empty = every link)");
+  flags.add_int("packets", 50, "data packets the netio-run source sends");
+  flags.add_int("period-ms", 20, "data transmission period for 'netio-run'");
+  flags.add_int("warmup-ms", 750,
+                "session-only warm-up before the first data packet");
+  flags.add_int("drain-ms", 3000,
+                "tail-recovery window after the last data packet");
+  flags.add_int("session-ms", 500,
+                "session period for 'netio-run' (doubles as the tail-loss "
+                "detection bound)");
+  flags.add_bool("oracle-distances", false,
+                 "skip session-based distance estimation in 'netio-run'");
   flags.add_int("count", 100, "frames to generate for 'wire-gen'");
   flags.add_int("max", 0, "max frames to print for 'wire-dump' (0 = all)");
   flags.add_string("loss", "",
@@ -873,8 +1041,8 @@ int main(int argc, char** argv) {
 
   if (flags.positional().size() != 1) {
     std::cerr << "usage: cesrm_cli <generate|inspect|estimate|simulate|"
-                 "compare|explain|analyze|wire-gen|wire-dump|wire-check> "
-                 "[flags]\n"
+                 "compare|netio-run|explain|analyze|wire-gen|wire-dump|"
+                 "wire-check> [flags]\n"
               << flags.usage();
     return 1;
   }
@@ -885,6 +1053,7 @@ int main(int argc, char** argv) {
     if (cmd == "estimate") return cmd_estimate(flags);
     if (cmd == "simulate") return cmd_simulate(flags);
     if (cmd == "compare") return cmd_compare(flags);
+    if (cmd == "netio-run") return cmd_netio_run(flags);
     if (cmd == "explain") return cmd_explain(flags);
     if (cmd == "analyze") return cmd_analyze(flags);
     if (cmd == "wire-gen") return cmd_wire_gen(flags);
